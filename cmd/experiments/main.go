@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's evaluation artefacts:
+// Table I and Figures 2–6 of §VII, over the synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig2|fig3|fig4|fig5|fig6]
+//	            [-per-group 10] [-seed 2016] [-fig6-budget 5s] [-quiet]
+//
+// A full run (-per-group 10) evaluates 100 instances × 4 algorithms; use
+// -per-group 2 or 3 for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"resched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: all, table1, fig2, fig3, fig4, fig5, fig6, contention, parallelism or optgap")
+		perGroup   = flag.Int("per-group", 10, "instances per task-count group")
+		seed       = flag.Int64("seed", 2016, "benchmark suite seed")
+		fig6Budget = flag.Duration("fig6-budget", 5*time.Second, "PA-R budget per Fig. 6 instance")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true}
+	want := strings.ToLower(*exp)
+	needSuite := want != "fig6" && want != "contention" && want != "parallelism" && want != "optgap"
+
+	var results []experiments.InstanceResult
+	if needSuite {
+		start := time.Now()
+		progress := func(done, total int) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "\rinstances %d/%d (%v)", done, total, time.Since(start).Round(time.Second))
+			}
+		}
+		var err error
+		results, err = experiments.Run(cfg, progress)
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	show := func(name string, f func()) {
+		if want == "all" || want == name {
+			f()
+			fmt.Println()
+		}
+	}
+	show("table1", func() { experiments.WriteTable1(os.Stdout, results) })
+	show("fig2", func() { experiments.WriteFig2(os.Stdout, results) })
+	show("fig3", func() { experiments.WriteFig3(os.Stdout, results) })
+	show("fig4", func() { experiments.WriteFig4(os.Stdout, results) })
+	show("fig5", func() { experiments.WriteFig5(os.Stdout, results) })
+	show("fig6", func() {
+		points, err := experiments.RunFig6(cfg, experiments.Fig6Config{Seed: *seed, Budget: *fig6Budget})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteFig6(os.Stdout, points)
+	})
+	if want == "contention" {
+		points, err := experiments.RunContention(experiments.ContentionConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteContention(os.Stdout, points)
+	}
+	if want == "parallelism" {
+		points, err := experiments.RunParallelism(experiments.ParallelismConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteParallelism(os.Stdout, points)
+	}
+	if want == "optgap" {
+		points, err := experiments.RunOptGap(experiments.OptGapConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		experiments.WriteOptGap(os.Stdout, points)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

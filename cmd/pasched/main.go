@@ -1,0 +1,157 @@
+// Command pasched schedules a task-graph JSON file on a reconfigurable
+// architecture using the paper's PA or PA-R schedulers (or the IS-k
+// baseline for comparison) and prints the resulting schedule.
+//
+// Usage:
+//
+//	pasched -graph app.json [-algo pa|par|is1|is5] [-budget 2s]
+//	        [-reuse] [-gantt] [-dot out.dot] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/isk"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+	"resched/internal/sim"
+	"resched/internal/taskgraph"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "task-graph JSON file (required)")
+		algo      = flag.String("algo", "pa", "scheduler: pa, par, is1 or is5")
+		budget    = flag.Duration("budget", 2*time.Second, "PA-R time budget")
+		seed      = flag.Int64("seed", 1, "PA-R random seed")
+		reuse     = flag.Bool("reuse", false, "enable module reuse")
+		gantt     = flag.Bool("gantt", false, "print a textual Gantt chart")
+		simulate  = flag.Bool("sim", false, "execute the schedule on the discrete-event platform model")
+		stats     = flag.Bool("stats", false, "print a utilisation report")
+		width     = flag.Int("width", 100, "Gantt chart width in cells")
+		dotPath   = flag.String("dot", "", "also write the task graph as Graphviz DOT")
+		outPath   = flag.String("out", "", "write the schedule as JSON")
+		svgPath   = flag.String("svg", "", "write the schedule as an SVG Gantt chart")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := taskgraph.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *dotPath != "" {
+		df, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteDOT(df); err != nil {
+			fatal(err)
+		}
+		df.Close()
+	}
+
+	a := arch.ZedBoard()
+	var sch *schedule.Schedule
+	start := time.Now()
+	switch *algo {
+	case "pa":
+		var stats *sched.Stats
+		sch, stats, err = sched.Schedule(g, a, sched.Options{ModuleReuse: *reuse})
+		if err == nil {
+			fmt.Printf("scheduling %v, floorplanning %v, retries %d\n",
+				stats.SchedulingTime.Round(time.Microsecond),
+				stats.FloorplanTime.Round(time.Microsecond), stats.Retries)
+		}
+	case "par":
+		var stats *sched.RandomStats
+		sch, stats, err = sched.RSchedule(g, a, sched.RandomOptions{
+			TimeBudget: *budget, Seed: *seed, ModuleReuse: *reuse,
+		})
+		if err == nil {
+			fmt.Printf("iterations %d, floorplan calls %d, discarded %d\n",
+				stats.Iterations, stats.FloorplanCalls, stats.Discarded)
+		}
+	case "is1", "is5":
+		k := 1
+		if *algo == "is5" {
+			k = 5
+		}
+		var stats *isk.Stats
+		sch, stats, err = isk.Schedule(g, a, isk.Options{K: k, ModuleReuse: *reuse})
+		if err == nil {
+			fmt.Printf("windows %d, nodes %d, retries %d\n", stats.Windows, stats.Nodes, stats.Retries)
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Microsecond))
+	if errs := schedule.Check(sch); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "invalid schedule:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println(sch.Summary())
+	for _, r := range sch.Regions {
+		fmt.Printf("  region %d: %v (reconf %d ticks)\n", r.ID, r.Res, r.ReconfTime)
+	}
+	if *gantt {
+		if err := sch.WriteGantt(os.Stdout, *width); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		if err := schedule.ComputeStats(sch).WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sch.WriteJSON(of); err != nil {
+			fatal(err)
+		}
+		of.Close()
+	}
+	if *svgPath != "" {
+		sf, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sch.WriteSVG(sf); err != nil {
+			fatal(err)
+		}
+		sf.Close()
+	}
+	if *simulate {
+		res, err := sim.Execute(sch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulated: makespan %d ticks (%d ticks of static slack recovered), %d events\n",
+			res.Makespan, res.Slack(sch), res.Events)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pasched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Imagepipe schedules a realistic image-processing pipeline — the kind of
+// workload the paper's introduction motivates for FPGA acceleration — and
+// compares PA against the IS-1 baseline on the ZedBoard.
+//
+// The application processes one camera frame: capture feeds demosaicing,
+// which fans out to a denoiser and a luminance path; features (corners +
+// edges) are extracted, fused, and the annotated frame is encoded while
+// statistics are collected for the auto-exposure loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"resched/internal/arch"
+	"resched/internal/isk"
+	"resched/internal/resources"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// stage adds a pipeline stage with a software implementation and up to two
+// hardware variants (fast/large and slow/small), mimicking HLS results for
+// different unroll factors.
+func stage(g *taskgraph.Graph, name string, swT, hwT int64, clb, bram, dsp int) *taskgraph.Task {
+	impls := []taskgraph.Implementation{
+		{Name: name + "_sw", Kind: taskgraph.SW, Time: swT},
+	}
+	if hwT > 0 {
+		impls = append(impls,
+			taskgraph.Implementation{Name: name + "_hw", Kind: taskgraph.HW, Time: hwT,
+				Res: resources.Vec(clb, bram, dsp)},
+			taskgraph.Implementation{Name: name + "_hw_small", Kind: taskgraph.HW, Time: hwT * 2,
+				Res: resources.Vec(clb/2, (bram+1)/2, (dsp+1)/2)},
+		)
+	}
+	return g.AddTask(name, impls...)
+}
+
+func main() {
+	g := taskgraph.New("imagepipe")
+	capture := stage(g, "capture", 800, 0, 0, 0, 0) // sensor readout: CPU only
+	demosaic := stage(g, "demosaic", 4200, 520, 1400, 12, 24)
+	denoise := stage(g, "denoise", 5100, 640, 1600, 16, 32)
+	luma := stage(g, "luma", 1500, 230, 500, 2, 8)
+	corners := stage(g, "corners", 3800, 560, 1200, 8, 28)
+	edges := stage(g, "edges", 3300, 480, 1100, 6, 20)
+	fuse := stage(g, "fuse", 1400, 310, 700, 4, 10)
+	encode := stage(g, "encode", 6200, 900, 1900, 20, 16)
+	stats := stage(g, "stats", 900, 260, 400, 2, 4)
+
+	g.MustEdge(capture.ID, demosaic.ID)
+	g.MustEdge(demosaic.ID, denoise.ID)
+	g.MustEdge(demosaic.ID, luma.ID)
+	g.MustEdge(luma.ID, corners.ID)
+	g.MustEdge(luma.ID, edges.ID)
+	g.MustEdge(corners.ID, fuse.ID)
+	g.MustEdge(edges.ID, fuse.ID)
+	g.MustEdge(denoise.ID, encode.ID)
+	g.MustEdge(fuse.ID, encode.ID)
+	g.MustEdge(luma.ID, stats.ID)
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	a := arch.ZedBoard()
+	pa, paStats, err := sched.Schedule(g, a, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// All-software reference on the dual-core CPU.
+	swOnly := g.Clone()
+	for _, task := range swOnly.Tasks {
+		task.Impls = task.Impls[:1]
+	}
+	swRef, _, err := sched.Schedule(swOnly, a, sched.Options{SkipFloorplan: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("frame latency, all software (2 cores): %6d µs\n", swRef.Makespan)
+	fmt.Printf("frame latency, IS-1                  : %6d µs\n", is1.Makespan)
+	fmt.Printf("frame latency, PA                    : %6d µs  (%d regions, %d reconfigurations)\n",
+		pa.Makespan, len(pa.Regions), len(pa.Reconfs))
+	fmt.Printf("speedup over software: ×%.1f\n\n", float64(swRef.Makespan)/float64(pa.Makespan))
+
+	for _, sch := range []*schedule.Schedule{pa, is1} {
+		if err := schedule.Valid(sch); err != nil {
+			log.Fatal(err)
+		}
+		if err := sch.WriteGantt(os.Stdout, 90); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("floorplan for PA's regions (%d placements):\n", len(paStats.Placements))
+	for i, p := range paStats.Placements {
+		fmt.Printf("  region %d: %v at %v\n", i, pa.Regions[i].Res, p)
+	}
+}

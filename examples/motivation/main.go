@@ -1,0 +1,80 @@
+// Motivation reproduces the Figure 1 scenario of §IV: task t1 offers a
+// fast-but-large hardware implementation (t1_1) and a slower
+// resource-efficient one (t1_2); t2 and t3 depend on t1. On a small device,
+// greedily selecting t1_1 monopolises the reconfigurable logic, while the
+// resource-efficient t1_2 leaves room for a second region — locally slower,
+// globally faster.
+//
+// The example contrasts PA (eq. (3) picks t1_2) against the IS-1 baseline
+// (greedy earliest finish picks t1_1), printing both schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"resched/internal/arch"
+	"resched/internal/isk"
+	"resched/internal/resources"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+func buildGraph() *taskgraph.Graph {
+	g := taskgraph.New("figure1")
+	g.AddTask("t1",
+		taskgraph.Implementation{Name: "t1_sw", Kind: taskgraph.SW, Time: 100000},
+		taskgraph.Implementation{Name: "t1_1", Kind: taskgraph.HW, Time: 300, Res: resources.Vec(900, 0, 0)},
+		taskgraph.Implementation{Name: "t1_2", Kind: taskgraph.HW, Time: 500, Res: resources.Vec(450, 0, 0)},
+	)
+	g.AddTask("t2",
+		taskgraph.Implementation{Name: "t2_sw", Kind: taskgraph.SW, Time: 100000},
+		taskgraph.Implementation{Name: "t2_hw", Kind: taskgraph.HW, Time: 400, Res: resources.Vec(500, 0, 0)},
+	)
+	g.AddTask("t3",
+		taskgraph.Implementation{Name: "t3_sw", Kind: taskgraph.SW, Time: 100000},
+		taskgraph.Implementation{Name: "t3_hw", Kind: taskgraph.HW, Time: 400, Res: resources.Vec(500, 0, 0)},
+	)
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	return g
+}
+
+func main() {
+	// A small device: 1000 slices (plus token BRAM/DSP so the scarcity
+	// weights of eq. (4) are defined). Both t1_1+anything and three
+	// parallel regions exceed it; only t1_2 + one 500-slice region fits.
+	a := &arch.Architecture{
+		Name:       "fig1-device",
+		Processors: 1,
+		RecFreq:    3200,
+		Bits:       resources.DefaultBits,
+		MaxRes:     resources.Vec(1000, 10, 10),
+	}
+
+	g := buildGraph()
+	pa, _, err := sched.Schedule(g, a, sched.Options{SkipFloorplan: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, SkipFloorplan: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sch := range []*schedule.Schedule{pa, is1} {
+		if err := schedule.Valid(sch); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s selects %s for t1 → makespan %d ticks\n",
+			sch.Algorithm, sch.Impl(0).Name, sch.Makespan)
+		if err := sch.WriteGantt(os.Stdout, 80); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("PA's resource-efficient choice for t1 frees device area for the")
+	fmt.Println("dependent tasks; the greedy baseline's locally-fastest choice")
+	fmt.Println("forces them into software (§IV of the paper).")
+}

@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/floorplan"
+	"resched/internal/isk"
+	"resched/internal/resources"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+	"resched/internal/sim"
+)
+
+// TestEndToEndAllSchedulers is the repository-wide integration test: over a
+// spread of instance sizes, shapes, communication settings and device
+// presets, every scheduler must produce a schedule that
+//
+//  1. passes the independent checker,
+//  2. executes on the discrete-event simulator without deadlock and no
+//     later than its static makespan,
+//  3. has floorplan-verified region placements (when floorplanned), and
+//  4. survives a JSON round trip bit-exactly.
+func TestEndToEndAllSchedulers(t *testing.T) {
+	type platform struct {
+		name string
+		a    *arch.Architecture
+	}
+	platforms := []platform{
+		{"zedboard", arch.ZedBoard()},
+		{"microzed", arch.MicroZed7010()},
+	}
+	dual := arch.ZedBoard()
+	dual.Reconfigurators = 2
+	platforms = append(platforms, platform{"zedboard-2icap", dual})
+
+	configs := []benchgen.Config{
+		{Tasks: 12, Seed: 41},
+		{Tasks: 30, Seed: 42, CommMax: 200},
+		{Tasks: 45, Seed: 43, Layers: 20},
+		{Tasks: 45, Seed: 44, Layers: 5},
+	}
+	for _, pl := range platforms {
+		for _, cfg := range configs {
+			g := benchgen.Generate(cfg)
+			name := fmt.Sprintf("%s/n%d-s%d", pl.name, cfg.Tasks, cfg.Seed)
+			t.Run(name, func(t *testing.T) {
+				type run struct {
+					sch        *schedule.Schedule
+					placements []floorplan.Placement
+				}
+				var runs []run
+
+				pa, paStats, err := sched.Schedule(g, pl.a, sched.Options{})
+				if err != nil {
+					t.Fatalf("PA: %v", err)
+				}
+				runs = append(runs, run{pa, paStats.Placements})
+
+				par, _, err := sched.RSchedule(g, pl.a, sched.RandomOptions{MaxIterations: 6, Seed: cfg.Seed})
+				if err != nil {
+					t.Fatalf("PA-R: %v", err)
+				}
+				runs = append(runs, run{par, nil})
+
+				is1, is1Stats, err := isk.Schedule(g, pl.a, isk.Options{K: 1, ModuleReuse: true})
+				if err != nil {
+					t.Fatalf("IS-1: %v", err)
+				}
+				runs = append(runs, run{is1, is1Stats.Placements})
+
+				is5, _, err := isk.Schedule(g, pl.a, isk.Options{K: 5, ModuleReuse: true, Prefetch: true, SkipFloorplan: true})
+				if err != nil {
+					t.Fatalf("IS-5: %v", err)
+				}
+				runs = append(runs, run{is5, nil})
+
+				for _, r := range runs {
+					sch := r.sch
+					if errs := schedule.Check(sch); len(errs) > 0 {
+						t.Fatalf("%s: invalid schedule: %v", sch.Algorithm, errs[0])
+					}
+					ex, err := sim.Execute(sch)
+					if err != nil {
+						t.Fatalf("%s: simulation: %v", sch.Algorithm, err)
+					}
+					if ex.Makespan > sch.Makespan {
+						t.Fatalf("%s: executed %d > scheduled %d", sch.Algorithm, ex.Makespan, sch.Makespan)
+					}
+					var buf bytes.Buffer
+					if err := sch.WriteJSON(&buf); err != nil {
+						t.Fatalf("%s: encode: %v", sch.Algorithm, err)
+					}
+					back, err := schedule.ReadJSON(&buf, g, pl.a)
+					if err != nil {
+						t.Fatalf("%s: decode: %v", sch.Algorithm, err)
+					}
+					if back.Makespan != sch.Makespan {
+						t.Fatalf("%s: round trip changed makespan", sch.Algorithm)
+					}
+				}
+				// Floorplan placements verify against the fabric.
+				for _, r := range runs {
+					if r.placements == nil {
+						continue
+					}
+					regionRes := make([]resources.Vector, len(r.sch.Regions))
+					for i, reg := range r.sch.Regions {
+						regionRes[i] = reg.Res
+					}
+					if err := floorplan.Verify(pl.a.Fabric, regionRes, r.placements); err != nil {
+						t.Fatalf("%s: floorplan: %v", r.sch.Algorithm, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBudgetedSearchImproves verifies the anytime property end to end: on a
+// contended instance, a longer PA-R budget never yields a worse result.
+func TestBudgetedSearchImproves(t *testing.T) {
+	g := benchgen.Generate(benchgen.Config{Tasks: 40, Seed: 4040})
+	a := arch.ZedBoard()
+	short, _, err := sched.RSchedule(g, a, sched.RandomOptions{MaxIterations: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, _, err := sched.RSchedule(g, a, sched.RandomOptions{MaxIterations: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Makespan > short.Makespan {
+		t.Errorf("longer search worse: %d vs %d", long.Makespan, short.Makespan)
+	}
+}
+
+// TestTimeBudgetRoughlyHonoured checks PA-R's wall-clock budget handling at
+// the integration level.
+func TestTimeBudgetRoughlyHonoured(t *testing.T) {
+	g := benchgen.Generate(benchgen.Config{Tasks: 50, Seed: 51})
+	a := arch.ZedBoard()
+	start := time.Now()
+	_, stats, err := sched.RSchedule(g, a, sched.RandomOptions{TimeBudget: 150 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 3*time.Second {
+		t.Errorf("budget of 150ms ran for %v", elapsed)
+	}
+	if stats.Iterations == 0 {
+		t.Error("no iterations within the budget")
+	}
+}

@@ -1,0 +1,153 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+
+	"resched/internal/resources"
+)
+
+// Fabric is the physical layout of the reconfigurable logic as a grid of
+// resource columns replicated over clock-region rows, following the
+// Xilinx 7-series organisation: the device is split into horizontal clock
+// regions, each containing the same left-to-right sequence of columns, and
+// every column in a clock region holds a fixed number of units of a single
+// resource kind.
+//
+// Partial-reconfiguration constraints (ref [3] of the paper) restrict
+// reconfigurable regions to rectangles of whole columns spanning whole
+// clock-region rows, which is exactly the placement space the floorplanner
+// enumerates.
+type Fabric struct {
+	// Rows is the number of clock-region rows.
+	Rows int
+	// Columns lists the resource kind of each column, left to right.
+	Columns []resources.Kind
+	// UnitsPerCell[k] is the number of units of kind k contained in one
+	// (column, row) cell of a column of kind k.
+	UnitsPerCell [resources.NumKinds]int
+}
+
+// Validate checks the fabric description.
+func (f *Fabric) Validate() error {
+	if f.Rows <= 0 {
+		return fmt.Errorf("fabric: non-positive row count %d", f.Rows)
+	}
+	if len(f.Columns) == 0 {
+		return fmt.Errorf("fabric: no columns")
+	}
+	for i, k := range f.Columns {
+		if k < 0 || k >= resources.NumKinds {
+			return fmt.Errorf("fabric: column %d has invalid kind %d", i, k)
+		}
+		if f.UnitsPerCell[k] <= 0 {
+			return fmt.Errorf("fabric: kind %v appears in column %d but has no units per cell", k, i)
+		}
+	}
+	return nil
+}
+
+// Width returns the number of columns.
+func (f *Fabric) Width() int { return len(f.Columns) }
+
+// CellResources returns the resource content of a single cell of column x.
+func (f *Fabric) CellResources(x int) resources.Vector {
+	var v resources.Vector
+	k := f.Columns[x]
+	v[k] = f.UnitsPerCell[k]
+	return v
+}
+
+// Capacity returns the total device resources (maxRes_r).
+func (f *Fabric) Capacity() resources.Vector {
+	var v resources.Vector
+	for x := range f.Columns {
+		v = v.Add(f.CellResources(x).Scale(f.Rows))
+	}
+	return v
+}
+
+// RectResources returns the resources contained in the rectangle of columns
+// [x0, x1) spanning rows [y0, y1).
+func (f *Fabric) RectResources(x0, x1, y0, y1 int) resources.Vector {
+	var v resources.Vector
+	for x := x0; x < x1; x++ {
+		v = v.Add(f.CellResources(x))
+	}
+	return v.Scale(y1 - y0)
+}
+
+// String renders the column pattern compactly, e.g. "3 rows: C×4 B C×4 D".
+func (f *Fabric) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d rows:", f.Rows)
+	abbrev := map[resources.Kind]string{resources.CLB: "C", resources.BRAM: "B", resources.DSP: "D"}
+	i := 0
+	for i < len(f.Columns) {
+		j := i
+		for j < len(f.Columns) && f.Columns[j] == f.Columns[i] {
+			j++
+		}
+		if n := j - i; n > 1 {
+			fmt.Fprintf(&b, " %s×%d", abbrev[f.Columns[i]], n)
+		} else {
+			fmt.Fprintf(&b, " %s", abbrev[f.Columns[i]])
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// NewZynqFabric builds the 7-series style fabric used for the ZedBoard
+// preset: three clock-region rows whose column sequence interleaves BRAM and
+// DSP columns among CLB columns, mirroring the XC7Z020 floorplan. A CLB
+// column cell holds 100 slices (50 CLBs × 2 slices), a BRAM column cell 10
+// RAMB36, a DSP column cell 20 DSP48.
+//
+// Totals: 44 CLB columns × 3 rows × 100 = 13 200 slices, 5 BRAM columns ×
+// 3 × 10 = 150 RAMB36, 4 DSP columns × 3 × 20 = 240 DSP48 — within a few
+// percent of the real XC7Z020 (13 300 / 140 / 220).
+func NewZynqFabric() *Fabric {
+	f := &Fabric{Rows: 3}
+	f.UnitsPerCell[resources.CLB] = 100
+	f.UnitsPerCell[resources.BRAM] = 10
+	f.UnitsPerCell[resources.DSP] = 20
+	// Column pattern: groups of CLB columns separated by BRAM/DSP columns,
+	// like the alternating CLB/BRAM/CLB/DSP stripes of 7-series devices.
+	pattern := []struct {
+		kind  resources.Kind
+		count int
+	}{
+		{resources.CLB, 5}, {resources.BRAM, 1},
+		{resources.CLB, 5}, {resources.DSP, 1},
+		{resources.CLB, 5}, {resources.BRAM, 1},
+		{resources.CLB, 6}, {resources.DSP, 1},
+		{resources.CLB, 6}, {resources.BRAM, 1},
+		{resources.CLB, 6}, {resources.DSP, 1},
+		{resources.CLB, 5}, {resources.BRAM, 1},
+		{resources.CLB, 6}, {resources.DSP, 1},
+		{resources.BRAM, 1},
+	}
+	for _, p := range pattern {
+		for i := 0; i < p.count; i++ {
+			f.Columns = append(f.Columns, p.kind)
+		}
+	}
+	return f
+}
+
+// ZedBoard returns the architecture preset used throughout the paper's
+// evaluation (§VII-A): a Zynq-7000 XC7Z020 with a dual-core ARM Cortex-A9.
+// The reconfiguration throughput models the ICAP: 32 bits at 100 MHz =
+// 3 200 bits per µs tick.
+func ZedBoard() *Architecture {
+	fabric := NewZynqFabric()
+	return &Architecture{
+		Name:       "ZedBoard XC7Z020",
+		Processors: 2,
+		RecFreq:    3200,
+		Bits:       resources.DefaultBits,
+		MaxRes:     fabric.Capacity(),
+		Fabric:     fabric,
+	}
+}

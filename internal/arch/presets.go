@@ -1,0 +1,123 @@
+package arch
+
+import (
+	"fmt"
+
+	"resched/internal/resources"
+)
+
+// ColumnSpec is one run of identical columns in a fabric pattern.
+type ColumnSpec struct {
+	Kind  resources.Kind
+	Count int
+}
+
+// NewColumnFabric builds a fabric from a column pattern replicated over the
+// given number of clock-region rows, with the 7-series cell contents
+// (100 slices, 10 RAMB36 or 20 DSP48 per cell).
+func NewColumnFabric(rows int, pattern []ColumnSpec) *Fabric {
+	f := &Fabric{Rows: rows}
+	f.UnitsPerCell[resources.CLB] = 100
+	f.UnitsPerCell[resources.BRAM] = 10
+	f.UnitsPerCell[resources.DSP] = 20
+	for _, p := range pattern {
+		for i := 0; i < p.Count; i++ {
+			f.Columns = append(f.Columns, p.Kind)
+		}
+	}
+	return f
+}
+
+// interleave builds a pattern of clb CLB columns with bram BRAM and dsp DSP
+// columns spread as evenly as possible between CLB runs, approximating the
+// alternating stripes of real 7-series devices.
+func interleave(clb, bram, dsp int) []ColumnSpec {
+	special := bram + dsp
+	var pattern []ColumnSpec
+	if special == 0 {
+		return []ColumnSpec{{resources.CLB, clb}}
+	}
+	per := clb / (special + 1)
+	extra := clb % (special + 1)
+	nextSpecial := func(i int) resources.Kind {
+		// Alternate BRAM and DSP while both remain, matching their ratio.
+		if i%2 == 0 && bram > 0 {
+			bram--
+			return resources.BRAM
+		}
+		if dsp > 0 {
+			dsp--
+			return resources.DSP
+		}
+		bram--
+		return resources.BRAM
+	}
+	for i := 0; i < special; i++ {
+		run := per
+		if i < extra {
+			run++
+		}
+		if run > 0 {
+			pattern = append(pattern, ColumnSpec{resources.CLB, run})
+		}
+		pattern = append(pattern, ColumnSpec{nextSpecial(i), 1})
+	}
+	if per > 0 || extra > special {
+		pattern = append(pattern, ColumnSpec{resources.CLB, per})
+	}
+	return pattern
+}
+
+// preset assembles an architecture from a fabric with standard ICAP
+// throughput and bitstream constants.
+func preset(name string, processors, rows, clbCols, bramCols, dspCols int) *Architecture {
+	fabric := NewColumnFabric(rows, interleave(clbCols, bramCols, dspCols))
+	return &Architecture{
+		Name:       name,
+		Processors: processors,
+		RecFreq:    3200,
+		Bits:       resources.DefaultBits,
+		MaxRes:     fabric.Capacity(),
+		Fabric:     fabric,
+	}
+}
+
+// MicroZed7010 models the Zynq XC7Z010 found on MicroZed boards: a single
+// clock-region-pair fabric with ~4 400 slices, 60 RAMB36 and 80 DSP48.
+// 2 rows × 22 CLB columns × 100 = 4 400 slices, 2×3×10 = 60 BRAM,
+// 2×2×20 = 80 DSP.
+func MicroZed7010() *Architecture {
+	return preset("MicroZed XC7Z010", 2, 2, 22, 3, 2)
+}
+
+// ZC706_7045 models the Zynq XC7Z045 of the ZC706 board: ~54 650 slices,
+// 545 RAMB36, 900 DSP48. 5 rows × 109 CLB columns × 100 = 54 500 slices,
+// 5×11×10 = 550 BRAM, 5×9×20 = 900 DSP.
+func ZC706_7045() *Architecture {
+	return preset("ZC706 XC7Z045", 2, 5, 109, 11, 9)
+}
+
+// ScaledZedBoard returns a ZedBoard-like architecture whose fabric is
+// scaled to approximately factor× the XC7Z020 capacity (factor in
+// (0, 8]); used by the contention-sweep experiment to vary device pressure
+// with everything else fixed.
+func ScaledZedBoard(factor float64) (*Architecture, error) {
+	if factor <= 0 || factor > 8 {
+		return nil, fmt.Errorf("arch: scale factor %v out of (0, 8]", factor)
+	}
+	base := 44.0 * factor
+	clb := int(base + 0.5)
+	if clb < 2 {
+		clb = 2
+	}
+	bram := int(5*factor + 0.5)
+	if bram < 1 {
+		bram = 1
+	}
+	dsp := int(4*factor + 0.5)
+	if dsp < 1 {
+		dsp = 1
+	}
+	a := preset(fmt.Sprintf("ZedBoard×%.2f", factor), 2, 3, clb, bram, dsp)
+	return a, nil
+}

@@ -1,0 +1,79 @@
+package arch
+
+import (
+	"testing"
+
+	"resched/internal/resources"
+)
+
+func TestPresetsValid(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Architecture
+		clb  [2]int // expected range
+		bram [2]int
+		dsp  [2]int
+	}{
+		{"7010", MicroZed7010(), [2]int{4000, 4800}, [2]int{50, 70}, [2]int{70, 90}},
+		{"7045", ZC706_7045(), [2]int{52000, 57000}, [2]int{500, 600}, [2]int{850, 950}},
+	}
+	for _, c := range cases {
+		if err := c.a.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got := c.a.MaxRes
+		if got[resources.CLB] < c.clb[0] || got[resources.CLB] > c.clb[1] {
+			t.Errorf("%s: CLB %d outside [%d,%d]", c.name, got[resources.CLB], c.clb[0], c.clb[1])
+		}
+		if got[resources.BRAM] < c.bram[0] || got[resources.BRAM] > c.bram[1] {
+			t.Errorf("%s: BRAM %d outside [%d,%d]", c.name, got[resources.BRAM], c.bram[0], c.bram[1])
+		}
+		if got[resources.DSP] < c.dsp[0] || got[resources.DSP] > c.dsp[1] {
+			t.Errorf("%s: DSP %d outside [%d,%d]", c.name, got[resources.DSP], c.dsp[0], c.dsp[1])
+		}
+	}
+	// Size ordering: 7010 < 7020 < 7045.
+	if !(MicroZed7010().MaxRes[resources.CLB] < ZedBoard().MaxRes[resources.CLB] &&
+		ZedBoard().MaxRes[resources.CLB] < ZC706_7045().MaxRes[resources.CLB]) {
+		t.Error("preset sizes not ordered")
+	}
+}
+
+func TestScaledZedBoard(t *testing.T) {
+	ref := ZedBoard().MaxRes[resources.CLB]
+	for _, f := range []float64{0.25, 0.5, 1.0, 2.0} {
+		a, err := ScaledZedBoard(f)
+		if err != nil {
+			t.Fatalf("factor %v: %v", f, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("factor %v: %v", f, err)
+		}
+		got := float64(a.MaxRes[resources.CLB])
+		want := f * float64(ref)
+		if got < want*0.8 || got > want*1.25 {
+			t.Errorf("factor %v: CLB %v, want ≈ %v", f, got, want)
+		}
+	}
+	if _, err := ScaledZedBoard(0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := ScaledZedBoard(100); err == nil {
+		t.Error("huge factor accepted")
+	}
+}
+
+func TestInterleaveConservesColumns(t *testing.T) {
+	for _, c := range []struct{ clb, bram, dsp int }{
+		{10, 2, 1}, {44, 5, 4}, {7, 0, 0}, {3, 5, 5}, {1, 1, 0},
+	} {
+		pattern := interleave(c.clb, c.bram, c.dsp)
+		var got [resources.NumKinds]int
+		for _, p := range pattern {
+			got[p.Kind] += p.Count
+		}
+		if got[resources.CLB] != c.clb || got[resources.BRAM] != c.bram || got[resources.DSP] != c.dsp {
+			t.Errorf("interleave(%d,%d,%d) conserved %v", c.clb, c.bram, c.dsp, got)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package benchgen generates the synthetic benchmark suite of §VII-A: 100
+// pseudo-random task graphs organised in 10 groups of 10, with 10–100 tasks
+// per graph. Every task offers one software implementation and three
+// hardware implementations with heterogeneous CLB/BRAM/DSP requirements
+// trading execution time against area; different tasks may share a common
+// implementation so that module reuse can be exercised.
+//
+// The authors' original instances are not public; this generator reproduces
+// the documented recipe deterministically from a seed, sized so that the
+// ZedBoard target experiences real FPGA contention for medium and large
+// graphs (the regime in which the paper's effects appear).
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resched/internal/resources"
+	"resched/internal/taskgraph"
+)
+
+// Config controls one generated task graph.
+type Config struct {
+	// Tasks is |T|.
+	Tasks int
+	// Seed drives all randomness; equal configs generate equal graphs.
+	Seed int64
+	// TypePool is the number of distinct module types tasks draw their
+	// implementations from; tasks of the same type share implementation
+	// names (module reuse). 0 derives max(4, Tasks/3).
+	TypePool int
+	// EdgeProb is the probability of a dependency between tasks in
+	// consecutive layers (0 = default 0.45).
+	EdgeProb float64
+	// Layers is the DAG depth (0 = derived from Tasks for a mid-parallel
+	// shape).
+	Layers int
+	// CommMax, when positive, annotates every dependency with a uniform
+	// random communication time in [0, CommMax] ticks (the §VIII
+	// future-work extension; the paper's own suite folds transfer times
+	// into execution times, so the default is 0).
+	CommMax int64
+}
+
+// moduleType is a reusable implementation menu shared by tasks of one type.
+type moduleType struct {
+	impls []taskgraph.Implementation
+}
+
+// Generate builds one pseudo-random task graph.
+func Generate(cfg Config) *taskgraph.Graph {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 10
+	}
+	if cfg.TypePool == 0 {
+		// Most tasks get a unique module; a minority share one, so module
+		// reuse is exploitable but not dominant (§VII-A just requires that
+		// "different tasks can share a common implementation").
+		cfg.TypePool = 3 * cfg.Tasks
+		if cfg.TypePool < 4 {
+			cfg.TypePool = 4
+		}
+	}
+	if cfg.EdgeProb == 0 {
+		cfg.EdgeProb = 0.45
+	}
+	if cfg.Layers == 0 {
+		// Roughly √(2n) layers: medium parallelism, neither a chain nor a
+		// fully parallel bag — the paper notes both extremes compress the
+		// improvement.
+		cfg.Layers = 1
+		for cfg.Layers*cfg.Layers < 2*cfg.Tasks {
+			cfg.Layers++
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	types := make([]moduleType, cfg.TypePool)
+	for i := range types {
+		types[i] = makeType(rng, i)
+	}
+
+	g := taskgraph.New(fmt.Sprintf("synthetic-n%d-s%d", cfg.Tasks, cfg.Seed))
+	layerOf := make([]int, cfg.Tasks)
+	for t := 0; t < cfg.Tasks; t++ {
+		// Spread tasks over layers; keep layer 0 non-empty.
+		if t < cfg.Layers {
+			layerOf[t] = t
+		} else {
+			layerOf[t] = rng.Intn(cfg.Layers)
+		}
+		ty := rng.Intn(len(types))
+		g.AddTask(fmt.Sprintf("t%d", t), types[ty].impls...)
+	}
+	// Edges: from random tasks in earlier layers, preferring the previous
+	// layer; every task in layer > 0 gets at least one predecessor so the
+	// graph stays a connected pipeline rather than a bag of islands.
+	byLayer := make([][]int, cfg.Layers)
+	for t, l := range layerOf {
+		byLayer[l] = append(byLayer[l], t)
+	}
+	for l := 1; l < cfg.Layers; l++ {
+		prev := byLayer[l-1]
+		if len(prev) == 0 {
+			continue
+		}
+		for _, t := range byLayer[l] {
+			comm := func() int64 {
+				if cfg.CommMax <= 0 {
+					return 0
+				}
+				return rng.Int63n(cfg.CommMax + 1)
+			}
+			addEdge := func(from int) {
+				if err := g.AddEdgeComm(from, t, comm()); err != nil {
+					panic(err) // construction always yields valid endpoints
+				}
+			}
+			linked := false
+			for _, p := range prev {
+				if rng.Float64() < cfg.EdgeProb {
+					addEdge(p)
+					linked = true
+				}
+			}
+			if !linked {
+				addEdge(prev[rng.Intn(len(prev))])
+			}
+			// Occasional long-range dependency.
+			if l >= 2 && rng.Float64() < 0.2 {
+				ll := rng.Intn(l - 1)
+				if len(byLayer[ll]) > 0 {
+					addEdge(byLayer[ll][rng.Intn(len(byLayer[ll]))])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// makeType builds one module type: three hardware implementations trading
+// time against area (as HLS loop-unrolling factors would) plus one software
+// implementation several times slower than the fastest hardware one.
+func makeType(rng *rand.Rand, id int) moduleType {
+	// Fast hardware variant.
+	fastTime := int64(60 + rng.Intn(440)) // 60–500 µs
+	clb := 300 + rng.Intn(1300)           // 300–1600 slices
+	var bram, dsp int
+	switch rng.Intn(3) {
+	case 0: // logic-heavy
+	case 1: // DSP-heavy kernel
+		dsp = 8 + rng.Intn(40)
+	case 2: // memory-heavy kernel
+		bram = 4 + rng.Intn(16)
+	}
+	scale := func(f float64, v int) int {
+		s := int(float64(v) * f)
+		if v > 0 && s == 0 {
+			s = 1
+		}
+		return s
+	}
+	mk := func(variant string, tf, rf float64) taskgraph.Implementation {
+		return taskgraph.Implementation{
+			Name: fmt.Sprintf("mod%d_%s", id, variant),
+			Kind: taskgraph.HW,
+			Time: int64(float64(fastTime) * tf),
+			Res:  resources.Vec(scale(rf, clb), scale(rf, bram), scale(rf, dsp)),
+		}
+	}
+	swFactor := 4 + rng.Float64()*4 // software 4–8× slower than fast HW
+	sw := taskgraph.Implementation{
+		Name: fmt.Sprintf("mod%d_sw", id),
+		Kind: taskgraph.SW,
+		Time: int64(float64(fastTime) * swFactor),
+	}
+	return moduleType{impls: []taskgraph.Implementation{
+		sw,
+		mk("hwfast", 1.0, 1.0),  // fastest, largest
+		mk("hwmid", 1.7, 0.55),  // balanced
+		mk("hwsmall", 2.6, 0.3), // slowest, most resource-efficient
+	}}
+}
+
+// SuiteEntry is one instance of the 100-graph evaluation suite.
+type SuiteEntry struct {
+	// Group is the task count of the instance's group (10, 20, …, 100).
+	Group int
+	// Index is the instance index within its group (0–9).
+	Index int
+	// Graph is the task graph.
+	Graph *taskgraph.Graph
+}
+
+// Suite generates the full §VII-A evaluation suite: 10 groups × 10 graphs,
+// group g holding graphs of 10·(g+1) tasks.
+func Suite(seed int64) []SuiteEntry {
+	var out []SuiteEntry
+	for group := 1; group <= 10; group++ {
+		for idx := 0; idx < 10; idx++ {
+			cfg := Config{
+				Tasks: 10 * group,
+				Seed:  seed + int64(group*1000+idx),
+			}
+			out = append(out, SuiteEntry{
+				Group: 10 * group,
+				Index: idx,
+				Graph: Generate(cfg),
+			})
+		}
+	}
+	return out
+}
+
+// Groups lists the distinct task counts of a suite in ascending order.
+func Groups(entries []SuiteEntry) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range entries {
+		if !seen[e.Group] {
+			seen[e.Group] = true
+			out = append(out, e.Group)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package benchgen
+
+import (
+	"testing"
+)
+
+func TestGenerateValid(t *testing.T) {
+	for _, n := range []int{1, 5, 10, 50, 100} {
+		g := Generate(Config{Tasks: n, Seed: 42})
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d tasks", n, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Tasks: 30, Seed: 7})
+	b := Generate(Config{Tasks: 30, Seed: 7})
+	if a.N() != b.N() || len(a.Edges()) != len(b.Edges()) {
+		t.Fatal("same seed, different shape")
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	for i := range a.Tasks {
+		for j := range a.Tasks[i].Impls {
+			if a.Tasks[i].Impls[j] != b.Tasks[i].Impls[j] {
+				t.Fatalf("task %d impl %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(Config{Tasks: 30, Seed: 8})
+	if len(c.Edges()) == len(a.Edges()) {
+		same := true
+		ce := c.Edges()
+		for i := range ae {
+			if ae[i] != ce[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical edge sets")
+		}
+	}
+}
+
+func TestImplementationMenu(t *testing.T) {
+	g := Generate(Config{Tasks: 40, Seed: 3})
+	for _, task := range g.Tasks {
+		if len(task.Impls) != 4 {
+			t.Fatalf("task %d has %d impls, want 4 (1 SW + 3 HW)", task.ID, len(task.Impls))
+		}
+		if len(task.SWImpls()) != 1 || len(task.HWImpls()) != 3 {
+			t.Fatalf("task %d impl kinds wrong", task.ID)
+		}
+		// The HW menu trades time against area monotonically.
+		hw := task.HWImpls()
+		for k := 1; k < len(hw); k++ {
+			a, b := task.Impls[hw[k-1]], task.Impls[hw[k]]
+			if a.Time >= b.Time {
+				t.Fatalf("task %d: HW times not increasing (%d, %d)", task.ID, a.Time, b.Time)
+			}
+			if a.Res.Total() <= b.Res.Total() {
+				t.Fatalf("task %d: HW areas not decreasing", task.ID)
+			}
+		}
+		// Software is slower than the fastest hardware.
+		sw := task.Impls[task.SWImpls()[0]]
+		if sw.Time <= task.Impls[hw[0]].Time {
+			t.Fatalf("task %d: SW (%d) not slower than fast HW (%d)", task.ID, sw.Time, task.Impls[hw[0]].Time)
+		}
+	}
+}
+
+func TestSharedImplementations(t *testing.T) {
+	g := Generate(Config{Tasks: 60, Seed: 5})
+	names := map[string][]int{}
+	for _, task := range g.Tasks {
+		for _, i := range task.HWImpls() {
+			names[task.Impls[i].Name] = append(names[task.Impls[i].Name], task.ID)
+		}
+	}
+	shared := 0
+	for _, tasks := range names {
+		if len(tasks) > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no shared implementations; module reuse cannot be exercised")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := Generate(Config{Tasks: 50, Seed: 11})
+	// Every non-source task has a predecessor by construction.
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < 3 {
+		t.Errorf("graph too shallow: depth %d", maxDepth)
+	}
+	// Not a chain either.
+	if maxDepth >= g.N()-1 {
+		t.Errorf("graph degenerated into a chain")
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(2016)
+	if len(suite) != 100 {
+		t.Fatalf("suite has %d entries, want 100", len(suite))
+	}
+	counts := map[int]int{}
+	for _, e := range suite {
+		counts[e.Group]++
+		if e.Graph.N() != e.Group {
+			t.Fatalf("group %d entry has %d tasks", e.Group, e.Graph.N())
+		}
+		if err := e.Graph.Validate(); err != nil {
+			t.Fatalf("suite graph invalid: %v", err)
+		}
+	}
+	for g := 10; g <= 100; g += 10 {
+		if counts[g] != 10 {
+			t.Fatalf("group %d has %d graphs, want 10", g, counts[g])
+		}
+	}
+	groups := Groups(suite)
+	want := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if len(groups) != len(want) {
+		t.Fatalf("Groups = %v", groups)
+	}
+	for i := range want {
+		if groups[i] != want[i] {
+			t.Fatalf("Groups = %v", groups)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := Generate(Config{})
+	if g.N() != 10 {
+		t.Errorf("default Tasks = %d, want 10", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

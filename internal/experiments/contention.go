@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/isk"
+	"resched/internal/sched"
+)
+
+// ContentionConfig drives the contention-sweep study: the paper repeatedly
+// attributes PA's gains to FPGA contention ("for applications with a small
+// number of tasks, there is less contention on the FPGA and thus the
+// benefits of the proposed scheduler are less evident"); this experiment
+// varies the device size with the workload fixed to expose that directly.
+type ContentionConfig struct {
+	// Seed generates the instances (default 2016).
+	Seed int64
+	// Tasks is the fixed task count (default 40).
+	Tasks int
+	// Instances per scale factor (default 5).
+	Instances int
+	// Factors are the device scale factors (default 0.5, 0.75, 1, 1.5, 2).
+	Factors []float64
+}
+
+// ContentionPoint is the aggregate at one device scale.
+type ContentionPoint struct {
+	Factor float64
+	// DemandRatio is total fast-implementation CLB demand over device CLB
+	// capacity — the contention proxy.
+	DemandRatio float64
+	// MeanPA, MeanIS1 and MeanPAR are mean makespans.
+	MeanPA, MeanIS1, MeanPAR float64
+	// PAvsIS1Pct and PARvsIS1Pct are mean paired improvements.
+	PAvsIS1Pct, PARvsIS1Pct float64
+}
+
+// RunContention sweeps device sizes and reports improvements per scale.
+func RunContention(cfg ContentionConfig) ([]ContentionPoint, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 2016
+	}
+	if cfg.Tasks == 0 {
+		cfg.Tasks = 40
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = 5
+	}
+	if len(cfg.Factors) == 0 {
+		cfg.Factors = []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+	}
+	var out []ContentionPoint
+	for _, f := range cfg.Factors {
+		a, err := arch.ScaledZedBoard(f)
+		if err != nil {
+			return nil, err
+		}
+		pt := ContentionPoint{Factor: f}
+		var paSum, isSum, parSum, impSum, rimpSum float64
+		count := 0
+		for idx := 0; idx < cfg.Instances; idx++ {
+			g := benchgen.Generate(benchgen.Config{Tasks: cfg.Tasks, Seed: cfg.Seed + int64(idx)})
+			// Contention proxy: total fast-HW CLB demand / device CLB.
+			var demand int
+			for _, task := range g.Tasks {
+				hw := task.HWImpls()
+				if len(hw) > 0 {
+					demand += task.Impls[hw[0]].Res[0]
+				}
+			}
+			pt.DemandRatio += float64(demand) / float64(a.MaxRes[0])
+
+			pa, _, err := sched.Schedule(g, a, sched.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("contention factor %v: PA: %w", f, err)
+			}
+			is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true})
+			if err != nil {
+				return nil, fmt.Errorf("contention factor %v: IS-1: %w", f, err)
+			}
+			par, _, err := sched.RSchedule(g, a, sched.RandomOptions{
+				TimeBudget: 50 * time.Millisecond, Seed: cfg.Seed + int64(idx),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("contention factor %v: PA-R: %w", f, err)
+			}
+			paSum += float64(pa.Makespan)
+			isSum += float64(is1.Makespan)
+			parSum += float64(par.Makespan)
+			impSum += 100 * float64(is1.Makespan-pa.Makespan) / float64(is1.Makespan)
+			rimpSum += 100 * float64(is1.Makespan-par.Makespan) / float64(is1.Makespan)
+			count++
+		}
+		n := float64(count)
+		pt.DemandRatio /= n
+		pt.MeanPA = paSum / n
+		pt.MeanIS1 = isSum / n
+		pt.MeanPAR = parSum / n
+		pt.PAvsIS1Pct = impSum / n
+		pt.PARvsIS1Pct = rimpSum / n
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteContention renders the sweep.
+func WriteContention(w io.Writer, points []ContentionPoint) {
+	fprintf(w, "CONTENTION SWEEP — improvements vs device size (fixed workload)\n")
+	fprintf(w, "%8s %10s %10s %10s %10s %12s %12s\n",
+		"scale", "demand/cap", "PA", "IS-1", "PA-R", "PA vs IS-1", "PA-R vs IS-1")
+	for _, p := range points {
+		fprintf(w, "%8.2f %10.2f %10.0f %10.0f %10.0f %+11.1f%% %+11.1f%%\n",
+			p.Factor, p.DemandRatio, p.MeanPA, p.MeanIS1, p.MeanPAR, p.PAvsIS1Pct, p.PARvsIS1Pct)
+	}
+}

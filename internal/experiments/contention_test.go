@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunContention(t *testing.T) {
+	points, err := RunContention(ContentionConfig{
+		Tasks:     15,
+		Instances: 2,
+		Factors:   []float64{0.5, 2.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Demand ratio decreases as the device grows.
+	if points[0].DemandRatio <= points[1].DemandRatio {
+		t.Errorf("demand ratio not decreasing: %v then %v", points[0].DemandRatio, points[1].DemandRatio)
+	}
+	for _, p := range points {
+		if p.MeanPA <= 0 || p.MeanIS1 <= 0 || p.MeanPAR <= 0 {
+			t.Errorf("empty means at factor %v: %+v", p.Factor, p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteContention(&buf, points)
+	for _, frag := range []string{"CONTENTION SWEEP", "demand/cap", "0.50", "2.00"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("report missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+func TestRunContentionRejectsBadFactor(t *testing.T) {
+	if _, err := RunContention(ContentionConfig{Factors: []float64{-1}}); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestRunParallelism(t *testing.T) {
+	points, err := RunParallelism(ParallelismConfig{
+		Tasks:     12,
+		Instances: 2,
+		Layers:    []int{8, 2},
+		ParBudget: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[0].WidthRatio >= points[1].WidthRatio {
+		t.Errorf("width not increasing: %v then %v", points[0].WidthRatio, points[1].WidthRatio)
+	}
+	for _, p := range points {
+		if p.MeanPAR <= 0 || p.MeanIS5 <= 0 {
+			t.Errorf("empty means: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteParallelism(&buf, points)
+	if !strings.Contains(buf.String(), "PARALLELISM SWEEP") {
+		t.Error("report header missing")
+	}
+	if _, err := RunParallelism(ParallelismConfig{Tasks: 5, Layers: []int{99}}); err == nil {
+		t.Error("excessive layer count accepted")
+	}
+}
+
+func TestRunOptGap(t *testing.T) {
+	points, err := RunOptGap(OptGapConfig{
+		Sizes:     []int{4},
+		Instances: 2,
+		ParBudget: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].N != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	// Gaps against a proven reference are never negative for schedulers
+	// confined to the same non-delay class.
+	if points[0].Proven == points[0].N {
+		if points[0].GapIS1 < -1e-9 || points[0].GapIS5 < -1e-9 {
+			t.Errorf("negative IS-k gap: %+v", points[0])
+		}
+	}
+	var buf bytes.Buffer
+	WriteOptGap(&buf, points)
+	if !strings.Contains(buf.String(), "OPTIMALITY GAPS") {
+		t.Error("report header missing")
+	}
+	if _, err := RunOptGap(OptGapConfig{Sizes: []int{50}}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}

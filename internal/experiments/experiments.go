@@ -1,0 +1,317 @@
+// Package experiments regenerates the paper's evaluation artefacts
+// (Table I and Figures 2–6 of §VII) on the synthetic benchmark suite: it
+// runs PA, PA-R, IS-1 and IS-5 over the 100-graph suite, aggregates
+// per-group statistics, and renders the same rows and series the paper
+// reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/isk"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// Config drives a full evaluation run.
+type Config struct {
+	// Seed generates the benchmark suite (default 2016).
+	Seed int64
+	// PerGroup caps the instances evaluated per group (0 = all 10). The
+	// quick mode of cmd/experiments uses a smaller value.
+	PerGroup int
+	// Groups restricts the task-count groups (nil = all ten).
+	Groups []int
+	// Arch is the target platform (nil = ZedBoard).
+	Arch *arch.Architecture
+	// ParBudgetFactor scales PA-R's time budget relative to the measured
+	// IS-5 runtime on the same instance (default 1.0, the paper's "same
+	// amount of time" protocol).
+	ParBudgetFactor float64
+	// MinParBudget floors PA-R's budget so tiny IS-5 runtimes still allow
+	// a meaningful search (default 20ms).
+	MinParBudget time.Duration
+	// Validate re-checks every schedule with the independent checker.
+	Validate bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2016
+	}
+	if c.Arch == nil {
+		c.Arch = arch.ZedBoard()
+	}
+	if c.ParBudgetFactor == 0 {
+		c.ParBudgetFactor = 1.0
+	}
+	if c.MinParBudget == 0 {
+		c.MinParBudget = 20 * time.Millisecond
+	}
+	return c
+}
+
+// InstanceResult holds the outcome of all four algorithms on one instance.
+type InstanceResult struct {
+	Group, Index int
+	Graph        *taskgraph.Graph
+
+	PA, PAR, IS1, IS5 AlgoResult
+}
+
+// AlgoResult is one algorithm's outcome on one instance.
+type AlgoResult struct {
+	Makespan int64
+	// Total is the wall-clock runtime; for PA and IS-k Scheduling and
+	// Floorplanning split it as in Table I.
+	Total, Scheduling, Floorplanning time.Duration
+	// Err records a failure (nil otherwise); failed runs are excluded
+	// from aggregation.
+	Err error
+}
+
+// Run executes the four algorithms over the configured slice of the suite.
+// The progress callback (may be nil) is invoked after each instance.
+func Run(cfg Config, progress func(done, total int)) ([]InstanceResult, error) {
+	cfg = cfg.withDefaults()
+	suite := benchgen.Suite(cfg.Seed)
+	groups := map[int]bool{}
+	for _, g := range cfg.Groups {
+		groups[g] = true
+	}
+	var selected []benchgen.SuiteEntry
+	perGroup := map[int]int{}
+	for _, e := range suite {
+		if len(groups) > 0 && !groups[e.Group] {
+			continue
+		}
+		if cfg.PerGroup > 0 && perGroup[e.Group] >= cfg.PerGroup {
+			continue
+		}
+		perGroup[e.Group]++
+		selected = append(selected, e)
+	}
+	var out []InstanceResult
+	for i, e := range selected {
+		r, err := runInstance(cfg, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		if progress != nil {
+			progress(i+1, len(selected))
+		}
+	}
+	return out, nil
+}
+
+func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
+	res := InstanceResult{Group: e.Group, Index: e.Index, Graph: e.Graph}
+	a := cfg.Arch
+
+	check := func(sch *schedule.Schedule) error {
+		if !cfg.Validate || sch == nil {
+			return nil
+		}
+		if errs := schedule.Check(sch); len(errs) > 0 {
+			return fmt.Errorf("invalid %s schedule on group %d idx %d: %v", sch.Algorithm, e.Group, e.Index, errs[0])
+		}
+		return nil
+	}
+
+	// PA.
+	t0 := time.Now()
+	pa, paStats, err := sched.Schedule(e.Graph, a, sched.Options{})
+	res.PA = AlgoResult{Total: time.Since(t0), Err: err}
+	if err == nil {
+		res.PA.Makespan = pa.Makespan
+		res.PA.Scheduling = paStats.SchedulingTime
+		res.PA.Floorplanning = paStats.FloorplanTime
+		if err := check(pa); err != nil {
+			return res, err
+		}
+	}
+
+	// IS-1 (module reuse enabled, §VII-A).
+	t0 = time.Now()
+	is1, is1Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 1, ModuleReuse: true})
+	res.IS1 = AlgoResult{Total: time.Since(t0), Err: err}
+	if err == nil {
+		res.IS1.Makespan = is1.Makespan
+		res.IS1.Scheduling = is1Stats.SchedulingTime
+		res.IS1.Floorplanning = is1Stats.FloorplanTime
+		if err := check(is1); err != nil {
+			return res, err
+		}
+	}
+
+	// IS-5.
+	t0 = time.Now()
+	is5, is5Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 5, ModuleReuse: true})
+	res.IS5 = AlgoResult{Total: time.Since(t0), Err: err}
+	if err == nil {
+		res.IS5.Makespan = is5.Makespan
+		res.IS5.Scheduling = is5Stats.SchedulingTime
+		res.IS5.Floorplanning = is5Stats.FloorplanTime
+		if err := check(is5); err != nil {
+			return res, err
+		}
+	}
+
+	// PA-R with the IS-5-matched budget (§VII-A: "PA-R was assigned a time
+	// budget equal to the time used by IS-5").
+	budget := time.Duration(float64(res.IS5.Total) * cfg.ParBudgetFactor)
+	if budget < cfg.MinParBudget {
+		budget = cfg.MinParBudget
+	}
+	t0 = time.Now()
+	par, _, err := sched.RSchedule(e.Graph, a, sched.RandomOptions{TimeBudget: budget, Seed: cfg.Seed + int64(e.Group*100+e.Index)})
+	res.PAR = AlgoResult{Total: time.Since(t0), Err: err}
+	if err == nil {
+		res.PAR.Makespan = par.Makespan
+		if err := check(par); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// GroupStats aggregates one algorithm over one task-count group.
+type GroupStats struct {
+	Group int
+	N     int
+	// MeanMakespan and StdMakespan summarise schedule execution times.
+	MeanMakespan, StdMakespan float64
+	// Mean runtimes.
+	MeanTotal, MeanScheduling, MeanFloorplanning time.Duration
+}
+
+// aggregate computes group statistics for the algorithm selected by pick.
+func aggregate(results []InstanceResult, pick func(*InstanceResult) *AlgoResult) []GroupStats {
+	byGroup := map[int][]float64{}
+	times := map[int][3]time.Duration{}
+	counts := map[int]int{}
+	for i := range results {
+		r := pick(&results[i])
+		if r.Err != nil {
+			continue
+		}
+		g := results[i].Group
+		byGroup[g] = append(byGroup[g], float64(r.Makespan))
+		t := times[g]
+		t[0] += r.Total
+		t[1] += r.Scheduling
+		t[2] += r.Floorplanning
+		times[g] = t
+		counts[g]++
+	}
+	var groups []int
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	var out []GroupStats
+	for _, g := range groups {
+		xs := byGroup[g]
+		n := len(xs)
+		mean, std := meanStd(xs)
+		t := times[g]
+		out = append(out, GroupStats{
+			Group: g, N: n,
+			MeanMakespan: mean, StdMakespan: std,
+			MeanTotal:         t[0] / time.Duration(n),
+			MeanScheduling:    t[1] / time.Duration(n),
+			MeanFloorplanning: t[2] / time.Duration(n),
+		})
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Improvement summarises, per group, the relative makespan improvement of
+// algorithm A over baseline B: mean of (B − A) / B per instance.
+type Improvement struct {
+	Group            int
+	N                int
+	MeanPct, StdPct  float64
+	WinCount, Losses int
+}
+
+// improvements computes per-instance paired improvements.
+func improvements(results []InstanceResult, pick, base func(*InstanceResult) *AlgoResult) []Improvement {
+	byGroup := map[int][]float64{}
+	for i := range results {
+		a, b := pick(&results[i]), base(&results[i])
+		if a.Err != nil || b.Err != nil || b.Makespan == 0 {
+			continue
+		}
+		pct := 100 * float64(b.Makespan-a.Makespan) / float64(b.Makespan)
+		byGroup[results[i].Group] = append(byGroup[results[i].Group], pct)
+	}
+	var groups []int
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	var out []Improvement
+	for _, g := range groups {
+		xs := byGroup[g]
+		mean, std := meanStd(xs)
+		imp := Improvement{Group: g, N: len(xs), MeanPct: mean, StdPct: std}
+		for _, x := range xs {
+			if x > 0 {
+				imp.WinCount++
+			} else if x < 0 {
+				imp.Losses++
+			}
+		}
+		out = append(out, imp)
+	}
+	return out
+}
+
+// OverallMean returns the unweighted mean of the per-group means, the
+// figure the paper quotes ("14.8% on average").
+func OverallMean(imps []Improvement) float64 {
+	if len(imps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, im := range imps {
+		s += im.MeanPct
+	}
+	return s / float64(len(imps))
+}
+
+// Accessor helpers for the aggregation functions.
+func PickPA(r *InstanceResult) *AlgoResult  { return &r.PA }
+func PickPAR(r *InstanceResult) *AlgoResult { return &r.PAR }
+func PickIS1(r *InstanceResult) *AlgoResult { return &r.IS1 }
+func PickIS5(r *InstanceResult) *AlgoResult { return &r.IS5 }
+
+// Fprintln is a tiny helper so report files never silently drop write
+// errors in examples.
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

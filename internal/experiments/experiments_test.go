@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runSmall runs a restricted suite once per test binary (the four-algorithm
+// pipeline is the expensive part).
+var smallResults []InstanceResult
+
+func small(t *testing.T) []InstanceResult {
+	t.Helper()
+	if smallResults != nil {
+		return smallResults
+	}
+	cfg := Config{
+		PerGroup:     2,
+		Groups:       []int{10, 20},
+		Validate:     true,
+		MinParBudget: 5 * time.Millisecond,
+	}
+	var calls int
+	results, err := Run(cfg, func(done, total int) {
+		calls++
+		if total != 4 {
+			t.Fatalf("expected 4 instances, progress says %d", total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || len(results) != 4 {
+		t.Fatalf("got %d results, %d progress calls", len(results), calls)
+	}
+	smallResults = results
+	return results
+}
+
+func TestRunProducesAllAlgorithms(t *testing.T) {
+	for _, r := range small(t) {
+		for name, ar := range map[string]AlgoResult{"PA": r.PA, "PAR": r.PAR, "IS1": r.IS1, "IS5": r.IS5} {
+			if ar.Err != nil {
+				t.Fatalf("group %d idx %d %s: %v", r.Group, r.Index, name, ar.Err)
+			}
+			if ar.Makespan <= 0 {
+				t.Errorf("group %d idx %d %s: non-positive makespan", r.Group, r.Index, name)
+			}
+			if ar.Total <= 0 {
+				t.Errorf("group %d idx %d %s: no runtime recorded", r.Group, r.Index, name)
+			}
+		}
+	}
+}
+
+func TestGroupFiltering(t *testing.T) {
+	groups := map[int]int{}
+	for _, r := range small(t) {
+		groups[r.Group]++
+	}
+	if len(groups) != 2 || groups[10] != 2 || groups[20] != 2 {
+		t.Errorf("group distribution = %v", groups)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	stats := aggregate(small(t), PickPA)
+	if len(stats) != 2 {
+		t.Fatalf("got %d groups", len(stats))
+	}
+	for _, g := range stats {
+		if g.N != 2 || g.MeanMakespan <= 0 {
+			t.Errorf("bad group stats %+v", g)
+		}
+		if g.StdMakespan < 0 {
+			t.Errorf("negative std %+v", g)
+		}
+	}
+	if stats[0].Group != 10 || stats[1].Group != 20 {
+		t.Errorf("groups unsorted: %+v", stats)
+	}
+}
+
+func TestImprovements(t *testing.T) {
+	imps := improvements(small(t), PickPAR, PickIS5)
+	if len(imps) != 2 {
+		t.Fatalf("got %d improvement groups", len(imps))
+	}
+	for _, im := range imps {
+		if im.N != 2 {
+			t.Errorf("group %d has %d samples", im.Group, im.N)
+		}
+		if im.WinCount+im.Losses > im.N {
+			t.Errorf("wins+losses exceed samples: %+v", im)
+		}
+	}
+	// Self-improvement is identically zero.
+	self := improvements(small(t), PickPA, PickPA)
+	for _, im := range self {
+		if im.MeanPct != 0 || im.StdPct != 0 {
+			t.Errorf("self improvement nonzero: %+v", im)
+		}
+	}
+	if OverallMean(self) != 0 {
+		t.Error("overall self improvement nonzero")
+	}
+	if OverallMean(nil) != 0 {
+		t.Error("empty overall mean nonzero")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("meanStd = %v, %v; want 5, 2", m, s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty meanStd = %v, %v", m, s)
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	results := small(t)
+	cases := []struct {
+		name  string
+		write func(*bytes.Buffer)
+		want  []string
+	}{
+		{"table1", func(b *bytes.Buffer) { WriteTable1(b, results) },
+			[]string{"TABLE I", "PA sched", "IS-1", "PA-R / IS-5"}},
+		{"fig2", func(b *bytes.Buffer) { WriteFig2(b, results) },
+			[]string{"FIGURE 2", "PA-R", "IS-5"}},
+		{"fig3", func(b *bytes.Buffer) { WriteFig3(b, results) },
+			[]string{"FIGURE 3", "PA OVER IS-1", "overall average improvement"}},
+		{"fig4", func(b *bytes.Buffer) { WriteFig4(b, results) },
+			[]string{"FIGURE 4", "PA OVER IS-5"}},
+		{"fig5", func(b *bytes.Buffer) { WriteFig5(b, results) },
+			[]string{"FIGURE 5", "PA-R OVER IS-5"}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		c.write(&buf)
+		out := buf.String()
+		for _, frag := range c.want {
+			if !strings.Contains(out, frag) {
+				t.Errorf("%s output missing %q:\n%s", c.name, frag, out)
+			}
+		}
+		// Both groups must appear as rows.
+		if !strings.Contains(out, "10") || !strings.Contains(out, "20") {
+			t.Errorf("%s output missing group rows:\n%s", c.name, out)
+		}
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	cfg := Config{Seed: 2016}
+	points, err := RunFig6(cfg, Fig6Config{Budget: 50 * time.Millisecond, Groups: []int{10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no convergence points")
+	}
+	// Points are grouped and improving within each group.
+	last := map[int]int64{}
+	for _, p := range points {
+		if p.Group != 10 && p.Group != 20 {
+			t.Errorf("unexpected group %d", p.Group)
+		}
+		if prev, ok := last[p.Group]; ok && p.Makespan >= prev {
+			t.Errorf("group %d not improving: %d after %d", p.Group, p.Makespan, prev)
+		}
+		last[p.Group] = p.Makespan
+	}
+	var buf bytes.Buffer
+	WriteFig6(&buf, points)
+	if !strings.Contains(buf.String(), "FIGURE 6") {
+		t.Error("fig6 header missing")
+	}
+	if _, err := RunFig6(cfg, Fig6Config{Budget: time.Millisecond, Groups: []int{999}}); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 2016 || c.Arch == nil || c.ParBudgetFactor != 1.0 || c.MinParBudget == 0 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/isk"
+	"resched/internal/sched"
+)
+
+// ParallelismConfig drives the DAG-shape study. The paper observes that
+// "the improvements achieved by PA-R with respect to IS-5 are more
+// restrained when either the taskgraph exposes a reduced level of
+// parallelism or, at the opposite, when a great proportion of the
+// application tasks can be executed in parallel"; this experiment sweeps
+// the DAG depth at a fixed task count to chart that.
+type ParallelismConfig struct {
+	// Seed generates the instances (default 2016).
+	Seed int64
+	// Tasks is the fixed task count (default 40).
+	Tasks int
+	// Instances per shape (default 4).
+	Instances int
+	// Layers are the DAG depths to sweep; fewer layers = more parallelism
+	// (default: near-chain to near-parallel).
+	Layers []int
+	// ParBudget is PA-R's time budget per instance (default 60 ms).
+	ParBudget time.Duration
+}
+
+// ParallelismPoint is the aggregate for one DAG shape.
+type ParallelismPoint struct {
+	Layers int
+	// WidthRatio is tasks/layers — the average parallelism degree.
+	WidthRatio float64
+	// Mean makespans.
+	MeanPAR, MeanIS5 float64
+	// PARvsIS5Pct is the mean paired improvement of PA-R over IS-5.
+	PARvsIS5Pct float64
+}
+
+// RunParallelism sweeps DAG shapes and reports PA-R's improvement.
+func RunParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 2016
+	}
+	if cfg.Tasks == 0 {
+		cfg.Tasks = 40
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = 4
+	}
+	if len(cfg.Layers) == 0 {
+		cfg.Layers = []int{30, 16, 9, 4, 2}
+	}
+	if cfg.ParBudget == 0 {
+		cfg.ParBudget = 60 * time.Millisecond
+	}
+	a := arch.ZedBoard()
+	var out []ParallelismPoint
+	for _, layers := range cfg.Layers {
+		if layers < 1 || layers > cfg.Tasks {
+			return nil, fmt.Errorf("experiments: layer count %d out of [1, %d]", layers, cfg.Tasks)
+		}
+		pt := ParallelismPoint{Layers: layers, WidthRatio: float64(cfg.Tasks) / float64(layers)}
+		var parSum, isSum, impSum float64
+		count := 0
+		for idx := 0; idx < cfg.Instances; idx++ {
+			g := benchgen.Generate(benchgen.Config{
+				Tasks:  cfg.Tasks,
+				Seed:   cfg.Seed + int64(idx),
+				Layers: layers,
+			})
+			is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true})
+			if err != nil {
+				return nil, fmt.Errorf("parallelism layers=%d: IS-5: %w", layers, err)
+			}
+			par, _, err := sched.RSchedule(g, a, sched.RandomOptions{
+				TimeBudget: cfg.ParBudget, Seed: cfg.Seed + int64(idx),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("parallelism layers=%d: PA-R: %w", layers, err)
+			}
+			parSum += float64(par.Makespan)
+			isSum += float64(is5.Makespan)
+			impSum += 100 * float64(is5.Makespan-par.Makespan) / float64(is5.Makespan)
+			count++
+		}
+		n := float64(count)
+		pt.MeanPAR = parSum / n
+		pt.MeanIS5 = isSum / n
+		pt.PARvsIS5Pct = impSum / n
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteParallelism renders the sweep.
+func WriteParallelism(w io.Writer, points []ParallelismPoint) {
+	fprintf(w, "PARALLELISM SWEEP — PA-R vs IS-5 across DAG shapes (fixed task count)\n")
+	fprintf(w, "%8s %12s %12s %12s %14s\n", "layers", "width", "PA-R", "IS-5", "PA-R vs IS-5")
+	for _, p := range points {
+		fprintf(w, "%8d %12.1f %12.0f %12.0f %+13.1f%%\n",
+			p.Layers, p.WidthRatio, p.MeanPAR, p.MeanIS5, p.PARvsIS5Pct)
+	}
+}

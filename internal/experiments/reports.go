@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"resched/internal/benchgen"
+	"resched/internal/sched"
+)
+
+// seconds renders a duration with three decimals, as in Table I.
+func seconds(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// WriteTable1 renders the paper's Table I: per-group algorithm execution
+// times, with PA split into scheduling and floorplanning.
+func WriteTable1(w io.Writer, results []InstanceResult) {
+	pa := aggregate(results, PickPA)
+	is1 := aggregate(results, PickIS1)
+	is5 := aggregate(results, PickIS5)
+	par := aggregate(results, PickPAR)
+	idx := func(gs []GroupStats) map[int]GroupStats {
+		m := map[int]GroupStats{}
+		for _, g := range gs {
+			m[g.Group] = g
+		}
+		return m
+	}
+	i1, i5, pr := idx(is1), idx(is5), idx(par)
+	fprintf(w, "TABLE I — ALGORITHMS EXECUTION TIME [s]\n")
+	fprintf(w, "%8s %12s %14s %10s %10s %16s\n",
+		"# Tasks", "PA sched", "PA floorplan", "PA total", "IS-1", "PA-R / IS-5")
+	for _, g := range pa {
+		fprintf(w, "%8d %12s %14s %10s %10s %8s / %s\n",
+			g.Group,
+			seconds(g.MeanScheduling), seconds(g.MeanFloorplanning), seconds(g.MeanTotal),
+			seconds(i1[g.Group].MeanTotal),
+			seconds(pr[g.Group].MeanTotal), seconds(i5[g.Group].MeanTotal))
+	}
+}
+
+// WriteFig2 renders Figure 2: the average schedule execution time of each
+// algorithm per task-count group.
+func WriteFig2(w io.Writer, results []InstanceResult) {
+	pa := aggregate(results, PickPA)
+	par := aggregate(results, PickPAR)
+	is1 := aggregate(results, PickIS1)
+	is5 := aggregate(results, PickIS5)
+	idx := func(gs []GroupStats) map[int]GroupStats {
+		m := map[int]GroupStats{}
+		for _, g := range gs {
+			m[g.Group] = g
+		}
+		return m
+	}
+	p, r, i1, i5 := idx(pa), idx(par), idx(is1), idx(is5)
+	fprintf(w, "FIGURE 2 — AVERAGE SCHEDULE EXECUTION TIME [ticks]\n")
+	fprintf(w, "%8s %12s %12s %12s %12s\n", "# Tasks", "PA", "PA-R", "IS-1", "IS-5")
+	for _, g := range pa {
+		fprintf(w, "%8d %12.0f %12.0f %12.0f %12.0f\n", g.Group,
+			p[g.Group].MeanMakespan, r[g.Group].MeanMakespan,
+			i1[g.Group].MeanMakespan, i5[g.Group].MeanMakespan)
+	}
+}
+
+// writeImprovement renders one of Figures 3–5: average per-group relative
+// improvement (with standard deviation) of an algorithm over a baseline.
+func writeImprovement(w io.Writer, title string, results []InstanceResult, pick, base func(*InstanceResult) *AlgoResult) {
+	imps := improvements(results, pick, base)
+	fprintf(w, "%s\n", title)
+	fprintf(w, "%8s %8s %14s %10s %6s %6s\n", "# Tasks", "N", "mean impr %", "std %", "wins", "losses")
+	for _, im := range imps {
+		fprintf(w, "%8d %8d %14.1f %10.1f %6d %6d\n", im.Group, im.N, im.MeanPct, im.StdPct, im.WinCount, im.Losses)
+	}
+	fprintf(w, "overall average improvement: %.1f%%\n", OverallMean(imps))
+}
+
+// WriteFig3 renders Figure 3 (PA vs IS-1).
+func WriteFig3(w io.Writer, results []InstanceResult) {
+	writeImprovement(w, "FIGURE 3 — AVERAGE IMPROVEMENT OF PA OVER IS-1", results, PickPA, PickIS1)
+}
+
+// WriteFig4 renders Figure 4 (PA vs IS-5).
+func WriteFig4(w io.Writer, results []InstanceResult) {
+	writeImprovement(w, "FIGURE 4 — AVERAGE IMPROVEMENT OF PA OVER IS-5", results, PickPA, PickIS5)
+}
+
+// WriteFig5 renders Figure 5 (PA-R vs IS-5).
+func WriteFig5(w io.Writer, results []InstanceResult) {
+	writeImprovement(w, "FIGURE 5 — AVERAGE IMPROVEMENT OF PA-R OVER IS-5", results, PickPAR, PickIS5)
+}
+
+// Fig6Config drives the anytime-convergence experiment.
+type Fig6Config struct {
+	// Seed matches the suite seed.
+	Seed int64
+	// Budget is the extended PA-R time limit per instance (the paper used
+	// 1200 s and plotted the first 500 s; scale down for quick runs).
+	Budget time.Duration
+	// Groups lists the task counts to sample (default 20,40,60,80,100 —
+	// the paper's selection).
+	Groups []int
+}
+
+// Fig6Point is one sample of the convergence curve.
+type Fig6Point struct {
+	Group     int
+	Elapsed   time.Duration
+	Iteration int
+	Makespan  int64
+}
+
+// RunFig6 reproduces Figure 6: PA-R's best schedule execution time as a
+// function of its running time, on one representative graph per group.
+func RunFig6(cfg Config, fcfg Fig6Config) ([]Fig6Point, error) {
+	cfg = cfg.withDefaults()
+	if fcfg.Seed == 0 {
+		fcfg.Seed = cfg.Seed
+	}
+	if fcfg.Budget == 0 {
+		fcfg.Budget = 5 * time.Second
+	}
+	if len(fcfg.Groups) == 0 {
+		fcfg.Groups = []int{20, 40, 60, 80, 100}
+	}
+	suite := benchgen.Suite(fcfg.Seed)
+	var out []Fig6Point
+	for _, group := range fcfg.Groups {
+		var entry *benchgen.SuiteEntry
+		for i := range suite {
+			if suite[i].Group == group && suite[i].Index == 0 {
+				entry = &suite[i]
+				break
+			}
+		}
+		if entry == nil {
+			return nil, fmt.Errorf("experiments: no suite entry for group %d", group)
+		}
+		_, stats, err := sched.RSchedule(entry.Graph, cfg.Arch, sched.RandomOptions{
+			TimeBudget: fcfg.Budget,
+			Seed:       fcfg.Seed + int64(group),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range stats.History {
+			out = append(out, Fig6Point{Group: group, Elapsed: h.Elapsed, Iteration: h.Iteration, Makespan: h.Makespan})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig6 renders the convergence samples.
+func WriteFig6(w io.Writer, points []Fig6Point) {
+	fprintf(w, "FIGURE 6 — PA-R SOLUTION IMPROVEMENT OVER TIME\n")
+	fprintf(w, "%8s %12s %10s %12s\n", "# Tasks", "elapsed [s]", "iteration", "makespan")
+	for _, p := range points {
+		fprintf(w, "%8d %12.3f %10d %12d\n", p.Group, p.Elapsed.Seconds(), p.Iteration, p.Makespan)
+	}
+}

@@ -1,0 +1,258 @@
+// Package floorplan decides whether a set of reconfigurable regions admits a
+// placement on the FPGA fabric that complies with partial-reconfiguration
+// constraints. It follows the structure of the paper's floorplanner
+// (Rabozzi et al., FCCM 2015 — ref [3]): first enumerate the *feasible
+// placements* of every region (axis-aligned rectangles of whole columns
+// spanning whole clock-region rows that cover the region's resource
+// requirement), then search for a pairwise-disjoint selection, one placement
+// per region.
+//
+// Two selection engines are provided: a backtracking search (default, exact
+// over the full placement sets) and a MILP formulation solved by the
+// in-repo branch-and-bound solver, mirroring the MILP of ref [3]. As in
+// §V-H of the paper, only feasibility is queried — no objective function.
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/resources"
+)
+
+// Placement is a candidate rectangle for one region: columns [X0, X1) and
+// clock-region rows [Y0, Y1).
+type Placement struct {
+	X0, X1, Y0, Y1 int
+}
+
+// Area returns the number of fabric cells covered.
+func (p Placement) Area() int { return (p.X1 - p.X0) * (p.Y1 - p.Y0) }
+
+// Overlaps reports whether two rectangles intersect.
+func (p Placement) Overlaps(q Placement) bool {
+	return p.X0 < q.X1 && q.X0 < p.X1 && p.Y0 < q.Y1 && q.Y0 < p.Y1
+}
+
+// String renders the rectangle.
+func (p Placement) String() string {
+	return fmt.Sprintf("cols[%d,%d) rows[%d,%d)", p.X0, p.X1, p.Y0, p.Y1)
+}
+
+// Enumerate lists the feasible placements of a region with the given
+// resource requirement: for every clock-region row span and every starting
+// column, the minimal-width rectangle covering the requirement. Minimal-
+// width placements are sufficient for feasibility: any solution using a
+// wider rectangle remains valid after shrinking it to minimal width.
+func Enumerate(f *arch.Fabric, req resources.Vector) []Placement {
+	var out []Placement
+	if req.Zero() {
+		return out
+	}
+	w := f.Width()
+	for h := 1; h <= f.Rows; h++ {
+		// For height h, the column prefix resources scale by h.
+		// Two-pointer scan: for each x0 find the minimal x1.
+		var acc resources.Vector
+		x1 := 0
+		for x0 := 0; x0 < w; x0++ {
+			if x1 < x0 {
+				x1 = x0
+				acc = resources.Vector{}
+			}
+			for x1 < w && !req.Fits(acc.Scale(h)) {
+				acc = acc.Add(f.CellResources(x1))
+				x1++
+			}
+			if !req.Fits(acc.Scale(h)) {
+				break // no wider rectangle from x0 helps; larger x0 neither
+			}
+			for y0 := 0; y0+h <= f.Rows; y0++ {
+				out = append(out, Placement{X0: x0, X1: x1, Y0: y0, Y1: y0 + h})
+			}
+			// Slide: remove column x0 before advancing.
+			acc = acc.Sub(f.CellResources(x0))
+		}
+	}
+	return out
+}
+
+// Method selects the placement-search engine.
+type Method int
+
+const (
+	// Backtracking is the exact DFS search over full placement sets.
+	Backtracking Method = iota
+	// MILP builds the 0/1 selection model of ref [3] and solves it with
+	// the in-repo branch-and-bound solver.
+	MILP
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Backtracking:
+		return "backtracking"
+	case MILP:
+		return "milp"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tune the search.
+type Options struct {
+	Method Method
+	// MaxCandidates caps the number of placements considered per region
+	// (0 = defaults: unlimited for backtracking, 40 for MILP). Capping
+	// trades completeness for speed; an infeasible answer under a cap is
+	// reported as unproven.
+	MaxCandidates int
+	// MaxNodes caps search nodes (0 = 200 000).
+	MaxNodes int
+	// Deadline aborts the search when passed (zero = none).
+	Deadline time.Time
+}
+
+// Result is the outcome of a floorplanning query.
+type Result struct {
+	// Feasible reports whether a valid placement assignment was found.
+	Feasible bool
+	// Proven is true when the answer is exact: a found assignment is
+	// always proven; an infeasibility verdict is proven only if the search
+	// completed without hitting a candidate cap, node cap or deadline.
+	Proven bool
+	// Placements holds one rectangle per region when Feasible.
+	Placements []Placement
+	// Nodes counts explored search nodes.
+	Nodes int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// Solve searches for a disjoint placement of all regions on the fabric.
+// Regions with zero requirements are rejected.
+func Solve(f *arch.Fabric, regions []resources.Vector, opt Options) (*Result, error) {
+	start := time.Now()
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	for i, r := range regions {
+		if r.Zero() {
+			return nil, fmt.Errorf("floorplan: region %d has no resource requirements", i)
+		}
+		if !r.NonNegative() {
+			return nil, fmt.Errorf("floorplan: region %d has negative requirements %v", i, r)
+		}
+	}
+	res := &Result{}
+	if len(regions) == 0 {
+		res.Feasible, res.Proven = true, true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	// Quick capacity cut: total demand exceeding the device is a proven no.
+	var total resources.Vector
+	for _, r := range regions {
+		total = total.Add(r)
+	}
+	if !total.Fits(f.Capacity()) {
+		res.Proven = true
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	cands := make([][]Placement, len(regions))
+	capped := false
+	for i, r := range regions {
+		cands[i] = Enumerate(f, r)
+		if len(cands[i]) == 0 {
+			// Region does not fit the device at all: proven infeasible.
+			res.Proven = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		limit := opt.MaxCandidates
+		if limit == 0 && opt.Method == MILP {
+			limit = 40
+		}
+		// Prefer small-area placements, then pack toward the bottom-left
+		// corner: compact prefixes leave the largest contiguous free space
+		// for the remaining regions.
+		sort.Slice(cands[i], func(a, b int) bool {
+			pa, pb := cands[i][a], cands[i][b]
+			if pa.Area() != pb.Area() {
+				return pa.Area() < pb.Area()
+			}
+			if pa.X0 != pb.X0 {
+				return pa.X0 < pb.X0
+			}
+			return pa.Y0 < pb.Y0
+		})
+		if limit > 0 && len(cands[i]) > limit {
+			cands[i] = cands[i][:limit]
+			capped = true
+		}
+	}
+
+	var err error
+	switch opt.Method {
+	case Backtracking:
+		err = solveBacktracking(f, regions, cands, opt, res)
+	case MILP:
+		err = solveMILP(f, regions, cands, opt, res)
+	default:
+		return nil, fmt.Errorf("floorplan: unknown method %v", opt.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !res.Feasible && capped {
+		res.Proven = false
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Verify checks that the placements cover their regions' requirements and
+// are pairwise disjoint; used by tests and callers that persist solutions.
+func Verify(f *arch.Fabric, regions []resources.Vector, placements []Placement) error {
+	if len(placements) != len(regions) {
+		return fmt.Errorf("floorplan: %d placements for %d regions", len(placements), len(regions))
+	}
+	for i, p := range placements {
+		if p.X0 < 0 || p.X1 > f.Width() || p.Y0 < 0 || p.Y1 > f.Rows || p.X0 >= p.X1 || p.Y0 >= p.Y1 {
+			return fmt.Errorf("floorplan: region %d placement %v out of fabric bounds", i, p)
+		}
+		got := f.RectResources(p.X0, p.X1, p.Y0, p.Y1)
+		if !regions[i].Fits(got) {
+			return fmt.Errorf("floorplan: region %d needs %v, placement %v provides %v", i, regions[i], p, got)
+		}
+		for j := 0; j < i; j++ {
+			if p.Overlaps(placements[j]) {
+				return fmt.Errorf("floorplan: placements of regions %d and %d overlap (%v, %v)", j, i, placements[j], p)
+			}
+		}
+	}
+	return nil
+}
+
+// PlacementFootprint estimates the device resources a region will actually
+// occupy once placed: the full content of its minimal-area feasible
+// placement, including resource columns the rectangle covers incidentally.
+// Schedulers use it for capacity accounting so that "fits the device"
+// tracks what the floorplanner can really place; it falls back to the raw
+// requirement when the region does not fit the fabric at all.
+func PlacementFootprint(f *arch.Fabric, req resources.Vector) resources.Vector {
+	best := req
+	bestArea := -1
+	for _, p := range Enumerate(f, req) {
+		if bestArea < 0 || p.Area() < bestArea {
+			bestArea = p.Area()
+			best = f.RectResources(p.X0, p.X1, p.Y0, p.Y1)
+		}
+	}
+	return best
+}

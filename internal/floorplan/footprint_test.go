@@ -1,0 +1,110 @@
+package floorplan
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/resources"
+)
+
+func TestPlacementFootprint(t *testing.T) {
+	f := arch.NewZynqFabric()
+	// One CLB cell: footprint is exactly one cell's worth.
+	fp := PlacementFootprint(f, resources.Vec(100, 0, 0))
+	if fp != resources.Vec(100, 0, 0) {
+		t.Errorf("single-cell footprint = %v", fp)
+	}
+	// A 450-slice request rounds up to at least 5 cells.
+	fp = PlacementFootprint(f, resources.Vec(450, 0, 0))
+	if fp[resources.CLB] < 500 {
+		t.Errorf("450-slice footprint = %v, want ≥ 500 CLB", fp)
+	}
+	// A mixed request charges the incidentally covered columns too.
+	req := resources.Vec(500, 0, 20)
+	fp = PlacementFootprint(f, req)
+	if !req.Fits(fp) {
+		t.Errorf("footprint %v does not cover request %v", fp, req)
+	}
+	if fp[resources.DSP] < 20 {
+		t.Errorf("DSP footprint = %d", fp[resources.DSP])
+	}
+	// An impossible request falls back to the raw requirement.
+	huge := f.Capacity().Add(resources.Vec(1, 0, 0))
+	if fp := PlacementFootprint(f, huge); fp != huge {
+		t.Errorf("impossible footprint = %v, want raw %v", fp, huge)
+	}
+}
+
+// Property: the footprint always covers the request and never exceeds the
+// device, for any feasible request.
+func TestPlacementFootprintCovers(t *testing.T) {
+	f := arch.NewZynqFabric()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		req := resources.Vec(1+rng.Intn(4000), rng.Intn(40), rng.Intn(80))
+		fp := PlacementFootprint(f, req)
+		if !req.Fits(fp) {
+			t.Fatalf("trial %d: footprint %v below request %v", trial, fp, req)
+		}
+		if len(Enumerate(f, req)) > 0 && !fp.Fits(f.Capacity()) {
+			t.Fatalf("trial %d: feasible footprint %v exceeds capacity", trial, fp)
+		}
+	}
+}
+
+func TestVerifyWideFabric(t *testing.T) {
+	// Fabrics beyond 64 columns exercise the multi-word occupancy masks.
+	a, err := arch.ScaledZedBoard(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fabric.Width() <= 64 {
+		t.Skip("scaled fabric unexpectedly narrow")
+	}
+	var regions []resources.Vector
+	for i := 0; i < 20; i++ {
+		regions = append(regions, resources.Vec(600, 0, 0))
+	}
+	res, err := Solve(a.Fabric, regions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("20 regions on a double-size device reported infeasible")
+	}
+	if err := Verify(a.Fabric, regions, res.Placements); err != nil {
+		t.Fatal(err)
+	}
+	// Some placement must use columns beyond 64 when the left half fills:
+	// not guaranteed, but the masks were exercised either way.
+}
+
+func TestWriteSVG(t *testing.T) {
+	f := arch.NewZynqFabric()
+	regions := []resources.Vector{
+		resources.Vec(400, 0, 20),
+		resources.Vec(800, 10, 0),
+	}
+	res, err := Solve(f, regions, Options{})
+	if err != nil || !res.Feasible {
+		t.Fatalf("setup: %v feasible=%v", err, res.Feasible)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, f, regions, res.Placements); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"<svg", "</svg>", "region 0", "region 1", "fabric"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// Invalid placements are rejected before rendering.
+	bad := []Placement{{0, 1, 0, 1}, {0, 1, 0, 1}}
+	if err := WriteSVG(&buf, f, regions, bad); err == nil {
+		t.Error("overlapping placements rendered")
+	}
+}

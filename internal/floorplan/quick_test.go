@@ -1,0 +1,102 @@
+package floorplan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resched/internal/arch"
+	"resched/internal/resources"
+)
+
+// clampPlacement maps arbitrary quick-generated integers into a valid
+// rectangle on a w×h grid.
+func clampPlacement(p Placement, w, h int) Placement {
+	norm := func(v, m int) int {
+		v %= m
+		if v < 0 {
+			v += m
+		}
+		return v
+	}
+	x0, x1 := norm(p.X0, w), norm(p.X1, w)
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	x1++
+	y0, y1 := norm(p.Y0, h), norm(p.Y1, h)
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	y1++
+	return Placement{X0: x0, X1: x1, Y0: y0, Y1: y1}
+}
+
+// Property: Overlaps is symmetric and reflexive for non-empty rectangles.
+func TestOverlapsSymmetricReflexive(t *testing.T) {
+	f := func(a, b Placement) bool {
+		a = clampPlacement(a, 53, 3)
+		b = clampPlacement(b, 53, 3)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		return a.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two rectangles overlap iff their column and row ranges both
+// intersect (cross-check against the definition).
+func TestOverlapsDefinition(t *testing.T) {
+	f := func(a, b Placement) bool {
+		a = clampPlacement(a, 53, 3)
+		b = clampPlacement(b, 53, 3)
+		cols := a.X0 < b.X1 && b.X0 < a.X1
+		rows := a.Y0 < b.Y1 && b.Y0 < a.Y1
+		return a.Overlaps(b) == (cols && rows)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Area equals the number of cells a brute-force count finds.
+func TestAreaMatchesCellCount(t *testing.T) {
+	f := func(p Placement) bool {
+		p = clampPlacement(p, 53, 3)
+		count := 0
+		for x := p.X0; x < p.X1; x++ {
+			for y := p.Y0; y < p.Y1; y++ {
+				count++
+			}
+		}
+		return p.Area() == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated placement of a random feasible request covers
+// the request, and RectResources agrees with a per-cell summation.
+func TestEnumerateCoversQuick(t *testing.T) {
+	fab := arch.NewZynqFabric()
+	f := func(clb, bram, dsp uint16) bool {
+		req := resources.Vec(1+int(clb)%3000, int(bram)%30, int(dsp)%60)
+		for _, p := range Enumerate(fab, req) {
+			got := fab.RectResources(p.X0, p.X1, p.Y0, p.Y1)
+			var brute resources.Vector
+			for x := p.X0; x < p.X1; x++ {
+				brute = brute.Add(fab.CellResources(x).Scale(p.Y1 - p.Y0))
+			}
+			if got != brute || !req.Fits(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package floorplan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"resched/internal/arch"
+	"resched/internal/resources"
+)
+
+// svg layout constants (pixels).
+const (
+	svgCell   = 14
+	svgMargin = 24
+)
+
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// WriteSVG renders a floorplan as an SVG device map: one cell per
+// (column, clock-region row), BRAM and DSP columns shaded, and each placed
+// region drawn as a coloured rectangle with a tooltip.
+func WriteSVG(w io.Writer, f *arch.Fabric, regions []resources.Vector, placements []Placement) error {
+	if err := Verify(f, regions, placements); err != nil {
+		return err
+	}
+	width := svgMargin*2 + f.Width()*svgCell
+	height := svgMargin*2 + f.Rows*svgCell + 18
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16">%d-column × %d-row fabric, %d regions placed</text>`+"\n",
+		svgMargin, f.Width(), f.Rows, len(placements))
+	// Background cells by column kind.
+	for x := 0; x < f.Width(); x++ {
+		fill := "#f4f4f6" // CLB
+		switch f.Columns[x] {
+		case resources.BRAM:
+			fill = "#dce8f4"
+		case resources.DSP:
+			fill = "#f4e8dc"
+		}
+		for y := 0; y < f.Rows; y++ {
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ffffff"/>`+"\n",
+				svgMargin+x*svgCell, svgMargin+y*svgCell, svgCell, svgCell, fill)
+		}
+	}
+	// Placed regions.
+	for i, p := range placements {
+		colour := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.8" stroke="#333333"><title>region %d: %s at %s</title></rect>`+"\n",
+			svgMargin+p.X0*svgCell, svgMargin+p.Y0*svgCell,
+			(p.X1-p.X0)*svgCell, (p.Y1-p.Y0)*svgCell, colour, i, regions[i], p)
+		if (p.X1-p.X0)*svgCell > 16 {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#ffffff">%d</text>`+"\n",
+				svgMargin+p.X0*svgCell+3, svgMargin+p.Y0*svgCell+11, i)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">shading: plain = CLB column, blue = BRAM, orange = DSP</text>`+"\n",
+		svgMargin, svgMargin+f.Rows*svgCell+14)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

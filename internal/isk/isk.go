@@ -1,0 +1,224 @@
+// Package isk implements the IS-k baseline scheduler the paper compares
+// against (Deiana et al., ReConFig 2015 — ref [6]): an iterative approach
+// that optimally schedules the next k tasks at a time, given all previous
+// decisions, on an architecture with processor cores and a partially
+// reconfigurable FPGA. The original uses a Gurobi MILP per iteration; this
+// implementation substitutes an exact branch-and-bound over the window's
+// decisions (implementation choice, region/processor mapping, execution
+// order), which returns the same window optima without the external solver.
+//
+// Supported features mirror ref [6]: reconfigurations as explicit tasks on
+// a single reconfiguration controller, reconfiguration prefetching (a
+// region may be reconfigured any time between its previous execution and
+// the next task's start), module reuse (consecutive tasks in a region
+// sharing an implementation skip the reconfiguration), and per-task
+// implementation menus spanning hardware and software.
+package isk
+
+import (
+	"fmt"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/floorplan"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// Options configure an IS-k run.
+type Options struct {
+	// K is the window size (IS-1, IS-5, ... of the paper). Default 1.
+	K int
+	// ModuleReuse enables reuse of loaded modules (the paper's §VII-A
+	// notes IS-k exploits it on the shared-implementation suite).
+	ModuleReuse bool
+	// Prefetch allows a reconfiguration to be scheduled before the
+	// outgoing task's dependencies complete, exploiting idle ICAP slots.
+	// Ref [6] (the IS-k the paper compares against) does not claim this
+	// feature — the paper attributes it to ref [8] — so it defaults to
+	// off; it is kept as an option for ablation studies.
+	Prefetch bool
+	// MaxWindowNodes caps the branch-and-bound nodes per window; on
+	// overflow the best incumbent is kept (0 = 50 000). The cap plays the
+	// role of the MILP time limit in ref [6].
+	MaxWindowNodes int
+	// Exhaustive disables the per-implementation region shortlist so the
+	// window search enumerates every compatible region. Package exact uses
+	// this with K = |T| to search the whole non-delay schedule space.
+	Exhaustive bool
+	// SkipFloorplan omits the floorplanning feasibility loop.
+	SkipFloorplan bool
+	// Floorplan configures the feasibility query.
+	Floorplan floorplan.Options
+	// MaxRetries bounds the shrink-and-restart loop (default 20), the
+	// same §V-H policy the paper applies around its schedulers.
+	MaxRetries int
+	// ShrinkFactor is the virtual capacity reduction per retry
+	// (default 0.93: retries are cheap, so shrink gently).
+	ShrinkFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.MaxWindowNodes == 0 {
+		o.MaxWindowNodes = 50000
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 20
+	}
+	if o.ShrinkFactor == 0 {
+		o.ShrinkFactor = 0.93
+	}
+	return o
+}
+
+// Stats describes an IS-k run.
+type Stats struct {
+	// Windows is the number of k-task windows solved.
+	Windows int
+	// Nodes is the total branch-and-bound nodes across windows.
+	Nodes int
+	// SchedulingTime and FloorplanTime split the runtime as in Table I.
+	SchedulingTime time.Duration
+	FloorplanTime  time.Duration
+	// Retries counts shrink-and-restart rounds.
+	Retries int
+	// Placements is the verified floorplan (empty when SkipFloorplan).
+	Placements []floorplan.Placement
+}
+
+// Schedule runs IS-k on the instance.
+func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule.Schedule, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	maxRes := a.MaxRes
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		sch, err := run(g, a, maxRes, opts, stats)
+		stats.SchedulingTime += time.Since(begin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.SkipFloorplan {
+			return sch, stats, nil
+		}
+		fabric, err := a.RequireFabric()
+		if err != nil {
+			return nil, nil, fmt.Errorf("isk: floorplanning requested: %w", err)
+		}
+		regionRes := make([]resources.Vector, len(sch.Regions))
+		for i, r := range sch.Regions {
+			regionRes[i] = r.Res
+		}
+		fpBegin := time.Now()
+		res, err := floorplan.Solve(fabric, regionRes, opts.Floorplan)
+		stats.FloorplanTime += time.Since(fpBegin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Feasible {
+			stats.Placements = res.Placements
+			return sch, stats, nil
+		}
+		if attempt >= opts.MaxRetries {
+			return nil, nil, fmt.Errorf("isk: no floorplan-feasible schedule after %d shrink retries", attempt)
+		}
+		stats.Retries++
+		for k := range maxRes {
+			maxRes[k] = int(float64(maxRes[k]) * opts.ShrinkFactor)
+		}
+	}
+}
+
+// run executes the iterative scheme on a fixed virtual capacity.
+func run(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts Options, stats *Stats) (*schedule.Schedule, error) {
+	st := newTimeline(g, a, maxRes, opts.ModuleReuse, opts.Prefetch)
+	st.exhaustive = opts.Exhaustive
+	st.tails = tails(g)
+	order, err := priorityOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	for lo := 0; lo < len(order); lo += opts.K {
+		hi := lo + opts.K
+		if hi > len(order) {
+			hi = len(order)
+		}
+		window := order[lo:hi]
+		stats.Windows++
+		if err := st.solveWindow(window, opts.MaxWindowNodes, &stats.Nodes); err != nil {
+			return nil, err
+		}
+	}
+	return st.emit(fmt.Sprintf("IS-%d", opts.K), opts.ModuleReuse), nil
+}
+
+// tails computes, for every task, the longest chain of minimal execution
+// times strictly below it in the DAG.
+func tails(g *taskgraph.Graph) []int64 {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return make([]int64, g.N()) // validated earlier; defensive
+	}
+	out := make([]int64, g.N())
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, w := range g.Succ(v) {
+			if c := out[w] + g.Tasks[w].MinTime() + g.EdgeComm(v, w); c > out[v] {
+				out[v] = c
+			}
+		}
+	}
+	return out
+}
+
+// priorityOrder lists the tasks in the order windows consume them: by
+// longest-path depth, ties broken by a larger downstream critical length
+// first, then by ID — the usual list-scheduling priority of ref [6].
+func priorityOrder(g *taskgraph.Graph) ([]int, error) {
+	depth, err := g.Depth()
+	if err != nil {
+		return nil, err
+	}
+	// Downstream rank with minimal execution times.
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int64, g.N())
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, w := range g.Succ(v) {
+			if r := rank[w]; r > rank[v] {
+				rank[v] = r
+			}
+		}
+		rank[v] += g.Tasks[v].MinTime()
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			x, y := order[j], order[j-1]
+			less := depth[x] < depth[y] ||
+				(depth[x] == depth[y] && rank[x] > rank[y]) ||
+				(depth[x] == depth[y] && rank[x] == rank[y] && x < y)
+			if !less {
+				break
+			}
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,314 @@
+package isk
+
+import (
+	"fmt"
+
+	"resched/internal/schedule"
+)
+
+// optKind discriminates the mapping choice of one window decision.
+type optKind int
+
+const (
+	optSW        optKind = iota // software on a processor
+	optNewRegion                // hardware in a freshly created region
+	optExisting                 // hardware in an existing region (reconfigure)
+	optReuse                    // hardware in an existing region (module reuse)
+)
+
+// option is one candidate decision for a window task, replayable against
+// the timeline state it was generated from.
+type option struct {
+	task   int
+	impl   int
+	kind   optKind
+	proc   int // optSW
+	region int // optExisting / optReuse: region id
+}
+
+// applied captures everything needed to undo an option application.
+type applied struct {
+	undo func()
+}
+
+// options enumerates the candidate decisions for task t under the current
+// timeline. To keep the window search tractable the existing-region choices
+// are restricted to the most promising candidates per implementation: the
+// module-reuse match and the two regions yielding the earliest task end.
+// (Ref [6]'s MILP considers all regions; the shortlist preserves the
+// decisions that matter — competition between window tasks for the same
+// region is still explored because each task carries its own shortlist.)
+func (st *timeline) options(t int) []option {
+	var out []option
+	task := st.g.Tasks[t]
+	// Software choices: the earliest-free processor per SW implementation
+	// (cores are identical, so the earliest-free one dominates).
+	if st.a.Processors > 0 {
+		best := 0
+		for p := 1; p < st.a.Processors; p++ {
+			if st.procFree[p] < st.procFree[best] {
+				best = p
+			}
+		}
+		for _, i := range task.SWImpls() {
+			out = append(out, option{task: t, impl: i, kind: optSW, proc: best})
+		}
+	}
+	ready := st.ready(t)
+	for _, i := range task.HWImpls() {
+		im := task.Impls[i]
+		if st.usedRes.Add(st.footprint(im.Res)).Fits(st.maxRes) {
+			out = append(out, option{task: t, impl: i, kind: optNewRegion})
+		}
+		// Existing regions: shortlist by resulting end time.
+		type cand struct {
+			opt option
+			end int64
+		}
+		var reuse *cand
+		var best1, best2 *cand
+		for _, r := range st.regions {
+			if !im.Res.Fits(r.res) {
+				continue
+			}
+			if st.moduleReuse && r.loaded == im.Name {
+				s := ready
+				if r.freeAt > s {
+					s = r.freeAt
+				}
+				c := &cand{opt: option{task: t, impl: i, kind: optReuse, region: r.id}, end: s + im.Time}
+				if reuse == nil || c.end < reuse.end {
+					reuse = c
+				}
+				continue
+			}
+			_, rs := st.slotFor(st.reconfLowerBound(r, ready), r.reconfTime)
+			s := rs + r.reconfTime
+			if ready > s {
+				s = ready
+			}
+			c := &cand{opt: option{task: t, impl: i, kind: optExisting, region: r.id}, end: s + im.Time}
+			switch {
+			case best1 == nil || c.end < best1.end:
+				best1, best2 = c, best1
+			case best2 == nil || c.end < best2.end:
+				best2 = c
+			}
+		}
+		if st.exhaustive {
+			// Exact mode: every compatible region is a candidate.
+			for _, r := range st.regions {
+				if !im.Res.Fits(r.res) {
+					continue
+				}
+				if st.moduleReuse && r.loaded == im.Name {
+					out = append(out, option{task: t, impl: i, kind: optReuse, region: r.id})
+				} else {
+					out = append(out, option{task: t, impl: i, kind: optExisting, region: r.id})
+				}
+			}
+			continue
+		}
+		for _, c := range []*cand{reuse, best1, best2} {
+			if c != nil {
+				out = append(out, c.opt)
+			}
+		}
+	}
+	return out
+}
+
+// apply executes an option on the timeline and returns its undo record.
+// When commit is true the reconfiguration record (if any) is appended for
+// the final schedule.
+func (st *timeline) apply(o option, commit bool) applied {
+	im := st.g.Tasks[o.task].Impls[o.impl]
+	ready := st.ready(o.task)
+	oldMak, oldSum, oldLB := st.makespan, st.sumEnds, st.lb
+
+	finish := func(start int64, extraUndo func()) applied {
+		st.impl[o.task] = o.impl
+		st.start[o.task] = start
+		st.end[o.task] = start + im.Time
+		st.sumEnds += st.end[o.task]
+		if st.end[o.task] > st.makespan {
+			st.makespan = st.end[o.task]
+		}
+		if st.tails != nil {
+			if c := st.end[o.task] + st.tails[o.task]; c > st.lb {
+				st.lb = c
+			}
+		}
+		return applied{undo: func() {
+			if extraUndo != nil {
+				extraUndo()
+			}
+			st.impl[o.task] = -1
+			st.makespan, st.sumEnds, st.lb = oldMak, oldSum, oldLB
+		}}
+	}
+
+	switch o.kind {
+	case optSW:
+		oldFree := st.procFree[o.proc]
+		start := ready
+		if oldFree > start {
+			start = oldFree
+		}
+		st.target[o.task] = schedule.Target{Kind: schedule.OnProcessor, Index: o.proc}
+		st.procFree[o.proc] = start + im.Time
+		return finish(start, func() { st.procFree[o.proc] = oldFree })
+
+	case optNewRegion:
+		fp := st.footprint(im.Res)
+		r := &iskRegion{
+			id:         len(st.regions),
+			res:        im.Res,
+			reconfTime: st.a.ReconfTime(im.Res),
+			loaded:     im.Name,
+			lastTask:   o.task,
+		}
+		st.regions = append(st.regions, r)
+		st.usedRes = st.usedRes.Add(fp)
+		start := ready
+		r.freeAt = start + im.Time
+		st.target[o.task] = schedule.Target{Kind: schedule.OnRegion, Index: r.id}
+		return finish(start, func() {
+			st.regions = st.regions[:len(st.regions)-1]
+			st.usedRes = st.usedRes.Sub(fp)
+		})
+
+	case optReuse:
+		r := st.regions[o.region]
+		oldFree, oldLast := r.freeAt, r.lastTask
+		start := ready
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+		r.freeAt = start + im.Time
+		r.lastTask = o.task
+		st.target[o.task] = schedule.Target{Kind: schedule.OnRegion, Index: r.id}
+		return finish(start, func() { r.freeAt, r.lastTask = oldFree, oldLast })
+
+	case optExisting:
+		r := st.regions[o.region]
+		oldFree, oldLast, oldLoaded := r.freeAt, r.lastTask, r.loaded
+		// Earliest controller slot after the region falls idle; with
+		// prefetching this may lie well before the task is ready.
+		ch, rs := st.slotFor(st.reconfLowerBound(r, ready), r.reconfTime)
+		slotIdx := st.insertSlot(ch, rs, r.reconfTime)
+		start := rs + r.reconfTime
+		if ready > start {
+			start = ready
+		}
+		if commit {
+			st.reconfs = append(st.reconfs, schedule.Reconfiguration{
+				Region:  r.id,
+				InTask:  oldLast,
+				OutTask: o.task,
+				Start:   rs,
+				End:     rs + r.reconfTime,
+			})
+		}
+		r.freeAt = start + im.Time
+		r.lastTask = o.task
+		r.loaded = im.Name
+		st.target[o.task] = schedule.Target{Kind: schedule.OnRegion, Index: r.id}
+		return finish(start, func() {
+			st.removeSlot(ch, slotIdx)
+			r.freeAt, r.lastTask, r.loaded = oldFree, oldLast, oldLoaded
+		})
+	}
+	panic(fmt.Sprintf("isk: unknown option kind %d", o.kind))
+}
+
+// solveWindow finds the window decisions minimising (makespan, Σ ends) by
+// exhaustive branch and bound over task orders and options, then commits
+// the best plan to the timeline.
+func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int) error {
+	inWindow := make(map[int]bool, len(window))
+	for _, t := range window {
+		inWindow[t] = true
+	}
+	var (
+		bestPlan []option
+		bestMak  int64
+		bestSum  int64
+		cur      []option
+		budget   = maxNodes
+	)
+
+	// ready-in-window: all predecessors scheduled (committed or within the
+	// current partial plan).
+	readyTasks := func() []int {
+		var out []int
+		for _, t := range window {
+			if st.impl[t] >= 0 {
+				continue
+			}
+			ok := true
+			for _, p := range st.g.Pred(t) {
+				if st.impl[p] < 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+
+	var dfs func(remaining int) error
+	dfs = func(remaining int) error {
+		if remaining == 0 {
+			if bestPlan == nil || st.lb < bestMak ||
+				(st.lb == bestMak && st.sumEnds < bestSum) {
+				bestPlan = append(bestPlan[:0], cur...)
+				bestMak, bestSum = st.lb, st.sumEnds
+			}
+			return nil
+		}
+		if budget <= 0 {
+			return nil
+		}
+		for _, t := range readyTasks() {
+			opts := st.options(t)
+			if len(opts) == 0 {
+				return fmt.Errorf("isk: task %d has no feasible mapping (no processors and no device capacity)", t)
+			}
+			for _, o := range opts {
+				budget--
+				*nodes++
+				ap := st.apply(o, false)
+				prune := bestPlan != nil && (st.lb > bestMak ||
+					(st.lb == bestMak && st.sumEnds >= bestSum))
+				if !prune {
+					cur = append(cur, o)
+					if err := dfs(remaining - 1); err != nil {
+						ap.undo()
+						return err
+					}
+					cur = cur[:len(cur)-1]
+				}
+				ap.undo()
+				if budget <= 0 {
+					break
+				}
+			}
+		}
+		return nil
+	}
+	if err := dfs(len(window)); err != nil {
+		return err
+	}
+	if bestPlan == nil {
+		return fmt.Errorf("isk: window search found no feasible plan (node budget %d)", maxNodes)
+	}
+	// Commit the winning plan.
+	for _, o := range bestPlan {
+		st.apply(o, true)
+	}
+	return nil
+}

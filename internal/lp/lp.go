@@ -1,0 +1,208 @@
+// Package lp provides a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	max/min c·x   s.t.   A x {≤,=,≥} b,   x ≥ 0
+//
+// It is the substrate of the MILP branch-and-bound solver (package milp)
+// that replaces the Gurobi dependency of the paper's floorplanner (ref [3]).
+// The implementation uses Bland's anti-cycling rule and is intended for the
+// small, well-conditioned models produced by the floorplanner, not for
+// industrial-scale programs.
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	// LE is ≤.
+	LE Op = iota
+	// GE is ≥.
+	GE
+	// EQ is =.
+	EQ
+)
+
+// String renders the relation symbol.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is one row a·x op rhs.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	n           int
+	objective   []float64
+	maximize    bool
+	constraints []Constraint
+}
+
+// NewProblem creates a problem with n variables, a zero objective and no
+// constraints. All variables are implicitly ≥ 0.
+func NewProblem(n int) *Problem {
+	return &Problem{n: n, objective: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective installs the objective coefficients and direction.
+func (p *Problem) SetObjective(coeffs []float64, maximize bool) error {
+	if len(coeffs) != p.n {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(coeffs), p.n)
+	}
+	p.objective = append([]float64(nil), coeffs...)
+	p.maximize = maximize
+	return nil
+}
+
+// AddConstraint appends the row coeffs·x op rhs. Coefficients beyond
+// len(coeffs) are zero.
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) error {
+	if len(coeffs) > p.n {
+		return fmt.Errorf("lp: constraint has %d coefficients, want ≤ %d", len(coeffs), p.n)
+	}
+	row := make([]float64, p.n)
+	copy(row, coeffs)
+	p.constraints = append(p.constraints, Constraint{Coeffs: row, Op: op, RHS: rhs})
+	return nil
+}
+
+// AddSparse appends a constraint given as (index, coefficient) pairs.
+func (p *Problem) AddSparse(idx []int, coef []float64, op Op, rhs float64) error {
+	if len(idx) != len(coef) {
+		return errors.New("lp: sparse index/coefficient length mismatch")
+	}
+	row := make([]float64, p.n)
+	for k, i := range idx {
+		if i < 0 || i >= p.n {
+			return fmt.Errorf("lp: sparse index %d out of range [0,%d)", i, p.n)
+		}
+		row[i] += coef[k]
+	}
+	p.constraints = append(p.constraints, Constraint{Coeffs: row, Op: op, RHS: rhs})
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set is empty.
+	Infeasible
+	// Unbounded means the objective is unbounded in its direction.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X holds the variable values (valid only for Optimal).
+	X []float64
+	// Objective is c·X in the problem's original direction.
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex method.
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	sol := &Solution{}
+	// Phase 1: minimize the sum of artificial variables.
+	if t.numArtificial > 0 {
+		t.installPhase1Objective()
+		if err := t.iterate(&sol.Iterations); err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() > eps {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		if err := t.driveOutArtificials(&sol.Iterations); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: original objective.
+	t.installPhase2Objective(p)
+	if err := t.iterate(&sol.Iterations); err != nil {
+		if errors.Is(err, errUnbounded) {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		return nil, err
+	}
+	sol.Status = Optimal
+	sol.X = t.extract(p.n)
+	sol.Objective = 0
+	for i, c := range p.objective {
+		sol.Objective += c * sol.X[i]
+	}
+	return sol, nil
+}
+
+// Clone returns an independent copy of the problem; constraints added to the
+// clone do not affect the original. The MILP branch-and-bound solver uses
+// this to derive node subproblems.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		n:         p.n,
+		objective: append([]float64(nil), p.objective...),
+		maximize:  p.maximize,
+	}
+	c.constraints = make([]Constraint, len(p.constraints))
+	for i, con := range p.constraints {
+		c.constraints[i] = Constraint{
+			Coeffs: append([]float64(nil), con.Coeffs...),
+			Op:     con.Op,
+			RHS:    con.RHS,
+		}
+	}
+	return c
+}
+
+// Maximizing reports the objective direction.
+func (p *Problem) Maximizing() bool { return p.maximize }
+
+// Objective returns a copy of the objective coefficients.
+func (p *Problem) Objective() []float64 { return append([]float64(nil), p.objective...) }

@@ -1,0 +1,273 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestClassicMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2,6), z = 36.
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{3, 5}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{1, 0}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{0, 2}, LE, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]float64{3, 2}, LE, 18); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 36) || !approx(sol.X[0], 2) || !approx(sol.X[1], 6) {
+		t.Errorf("got x=%v obj=%v, want (2,6) 36", sol.X, sol.Objective)
+	}
+}
+
+func TestMinWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≤ 8 → (8,2), z = 22.
+	p := NewProblem(2)
+	p.SetObjective([]float64{2, 3}, false)
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, LE, 8)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 22) {
+		t.Fatalf("got %v obj=%v, want optimal 22", sol.Status, sol.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x s.t. x + y = 5 → x = 5.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 0}, true)
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[0], 5) || !approx(sol.X[1], 0) {
+		t.Fatalf("got %v x=%v", sol.Status, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective([]float64{1}, true)
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddConstraint([]float64{1, -1}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// -x ≤ -3 is x ≥ 3; min x → 3.
+	p := NewProblem(1)
+	p.SetObjective([]float64{1}, false)
+	p.AddConstraint([]float64{-1}, LE, -3)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.X[0], 3) {
+		t.Fatalf("got %v x=%v, want x=3", sol.Status, sol.X)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles under Dantzig's rule without
+	// anti-cycling); Bland's rule must terminate at z = 0.05 (x4 = 1).
+	p := NewProblem(4)
+	p.SetObjective([]float64{0.75, -150, 0.02, -6}, true)
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 0.05) {
+		t.Fatalf("got %v obj=%v, want optimal 0.05", sol.Status, sol.Objective)
+	}
+}
+
+func TestZeroConstraintProblem(t *testing.T) {
+	// min over no constraints: optimum at the origin.
+	p := NewProblem(3)
+	p.SetObjective([]float64{1, 2, 3}, false)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 0) {
+		t.Fatalf("got %v obj=%v", sol.Status, sol.Objective)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows exercise redundant-row removal in phase 1.
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1}, true)
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8)
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !approx(sol.Objective, 4) {
+		t.Fatalf("got %v obj=%v, want optimal 4", sol.Status, sol.Objective)
+	}
+}
+
+func TestAddSparse(t *testing.T) {
+	p := NewProblem(5)
+	p.SetObjective([]float64{0, 0, 1, 0, 0}, true)
+	if err := p.AddSparse([]int{2, 4}, []float64{1, 1}, LE, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSparse([]int{9}, []float64{1}, LE, 7); err == nil {
+		t.Error("out-of-range sparse index accepted")
+	}
+	if err := p.AddSparse([]int{1, 2}, []float64{1}, LE, 7); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	sol := mustSolve(t, p)
+	if !approx(sol.Objective, 7) {
+		t.Fatalf("obj = %v, want 7", sol.Objective)
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjective([]float64{1}, true); err == nil {
+		t.Error("short objective accepted")
+	}
+	if err := p.AddConstraint([]float64{1, 2, 3}, LE, 1); err == nil {
+		t.Error("long constraint accepted")
+	}
+	if p.NumVars() != 2 || p.NumConstraints() != 0 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("op strings")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings")
+	}
+}
+
+// TestRandom2DAgainstVertexEnumeration cross-checks the simplex on random
+// two-variable LPs with ≤ constraints against exhaustive vertex enumeration.
+func TestRandom2DAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(5)
+		type row struct{ a, b, r float64 }
+		rows := make([]row, 0, m+2)
+		for i := 0; i < m; i++ {
+			rows = append(rows, row{rng.Float64()*4 - 1, rng.Float64()*4 - 1, rng.Float64() * 10})
+		}
+		// Bounding box keeps the problem bounded.
+		rows = append(rows, row{1, 0, 20}, row{0, 1, 20})
+		cx, cy := rng.Float64()*4-2, rng.Float64()*4-2
+
+		p := NewProblem(2)
+		p.SetObjective([]float64{cx, cy}, true)
+		for _, r := range rows {
+			p.AddConstraint([]float64{r.a, r.b}, LE, r.r)
+		}
+		sol := mustSolve(t, p)
+
+		// Vertex enumeration including the axes x=0, y=0.
+		type line struct{ a, b, r float64 }
+		lines := []line{{1, 0, 0}, {0, 1, 0}} // axes as equalities at 0
+		for _, r := range rows {
+			lines = append(lines, line(r))
+		}
+		feasible := func(x, y float64) bool {
+			if x < -1e-7 || y < -1e-7 {
+				return false
+			}
+			for _, r := range rows {
+				if r.a*x+r.b*y > r.r+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		best := math.Inf(-1)
+		anyFeasible := false
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				l1, l2 := lines[i], lines[j]
+				det := l1.a*l2.b - l2.a*l1.b
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (l1.r*l2.b - l2.r*l1.b) / det
+				y := (l1.a*l2.r - l2.a*l1.r) / det
+				if feasible(x, y) {
+					anyFeasible = true
+					if v := cx*x + cy*y; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if !anyFeasible {
+			// Origin is always feasible here since rhs ≥ 0.
+			t.Fatalf("trial %d: vertex enumeration found nothing", trial)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if math.Abs(sol.Objective-best) > 1e-5 {
+			t.Fatalf("trial %d: simplex %v vs vertices %v", trial, sol.Objective, best)
+		}
+	}
+}
+
+// TestRandomBoxed checks that with a separable box LP the solver recovers
+// the analytic optimum Σ max(c_i,0)·u_i.
+func TestRandomBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		c := make([]float64, n)
+		u := make([]float64, n)
+		want := 0.0
+		p := NewProblem(n)
+		for i := range c {
+			c[i] = rng.Float64()*10 - 5
+			u[i] = rng.Float64() * 10
+			row := make([]float64, n)
+			row[i] = 1
+			p.AddConstraint(row, LE, u[i])
+			if c[i] > 0 {
+				want += c[i] * u[i]
+			}
+		}
+		p.SetObjective(c, true)
+		sol := mustSolve(t, p)
+		if sol.Status != Optimal || math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: got %v %v, want %v", trial, sol.Status, sol.Objective, want)
+		}
+	}
+}

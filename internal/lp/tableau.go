@@ -1,0 +1,246 @@
+package lp
+
+import "errors"
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is a dense simplex tableau in standard form: every original
+// constraint is normalised to a non-negative right-hand side, then LE rows
+// receive a slack variable, GE rows a surplus plus an artificial variable,
+// and EQ rows an artificial variable. Artificial variables occupy the last
+// columns and are never allowed to enter the basis.
+type tableau struct {
+	total         int // structural + slack/surplus + artificial variables
+	artStart      int // first artificial column
+	numArtificial int
+	rows          [][]float64 // m × (total+1); last column is the RHS
+	obj           []float64   // reduced-cost row; obj[total] = -z (minimisation)
+	basis         []int       // basic variable of each row
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.constraints)
+	// Count auxiliary columns.
+	slack, art := 0, 0
+	for _, c := range p.constraints {
+		op, rhs := c.Op, c.RHS
+		if rhs < 0 { // normalisation flips the relation
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			slack++
+		case GE:
+			slack++ // surplus
+			art++
+		case EQ:
+			art++
+		}
+	}
+	t := &tableau{
+		total:         p.n + slack + art,
+		artStart:      p.n + slack,
+		numArtificial: art,
+		rows:          make([][]float64, m),
+		basis:         make([]int, m),
+	}
+	nextSlack, nextArt := p.n, t.artStart
+	for i, c := range p.constraints {
+		row := make([]float64, t.total+1)
+		copy(row, c.Coeffs)
+		rhs, op := c.RHS, c.Op
+		if rhs < 0 {
+			for j := range row[:p.n] {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			op = flip(op)
+		}
+		row[t.total] = rhs
+		switch op {
+		case LE:
+			row[nextSlack] = 1
+			t.basis[i] = nextSlack
+			nextSlack++
+		case GE:
+			row[nextSlack] = -1
+			nextSlack++
+			row[nextArt] = 1
+			t.basis[i] = nextArt
+			nextArt++
+		case EQ:
+			row[nextArt] = 1
+			t.basis[i] = nextArt
+			nextArt++
+		}
+		t.rows[i] = row
+	}
+	t.obj = make([]float64, t.total+1)
+	return t
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// installPhase1Objective sets up min Σ artificials as the reduced-cost row.
+func (t *tableau) installPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := t.artStart; j < t.total; j++ {
+		t.obj[j] = 1
+	}
+	// Zero the reduced costs of the basic artificial columns.
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := range t.obj {
+				t.obj[j] -= t.rows[i][j]
+			}
+		}
+	}
+}
+
+// installPhase2Objective sets up the caller's objective (as minimisation).
+func (t *tableau) installPhase2Objective(p *Problem) {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j, c := range p.objective {
+		if p.maximize {
+			t.obj[j] = -c
+		} else {
+			t.obj[j] = c
+		}
+	}
+	for i, b := range t.basis {
+		if cb := t.obj[b]; cb != 0 {
+			for j := range t.obj {
+				t.obj[j] -= cb * t.rows[i][j]
+			}
+			// Restore exact zero on the basic column to fight drift.
+			t.obj[b] = 0
+		}
+	}
+}
+
+// objectiveValue returns the current z of the minimisation.
+func (t *tableau) objectiveValue() float64 { return -t.obj[t.total] }
+
+// iterate pivots until optimality (no negative reduced cost) using Bland's
+// rule, or reports unboundedness.
+func (t *tableau) iterate(pivots *int) error {
+	for {
+		// Entering column: smallest index with negative reduced cost;
+		// artificial columns never enter.
+		enter := -1
+		for j := 0; j < t.artStart; j++ {
+			if t.obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		// Ratio test with Bland tie-breaking on the leaving basic variable.
+		leave, best := -1, 0.0
+		for i, row := range t.rows {
+			a := row[enter]
+			if a <= eps {
+				continue
+			}
+			ratio := row[t.total] / a
+			if leave < 0 || ratio < best-eps || (ratio < best+eps && t.basis[i] < t.basis[leave]) {
+				leave, best = i, ratio
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+		*pivots++
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.rows[leave]
+	p := row[enter]
+	for j := range row {
+		row[j] /= p
+	}
+	row[enter] = 1 // exact
+	for i, other := range t.rows {
+		if i == leave {
+			continue
+		}
+		if f := other[enter]; f != 0 {
+			for j := range other {
+				other[j] -= f * row[j]
+			}
+			other[enter] = 0
+		}
+	}
+	if f := t.obj[enter]; f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * row[j]
+		}
+		t.obj[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials removes artificial variables left basic (at value 0)
+// after phase 1, pivoting them out where possible and dropping redundant
+// rows otherwise.
+func (t *tableau) driveOutArtificials(pivots *int) error {
+	for i := 0; i < len(t.rows); i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Find a non-artificial column to pivot in.
+		enter := -1
+		for j := 0; j < t.artStart; j++ {
+			if a := t.rows[i][j]; a > eps || a < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter >= 0 {
+			t.pivot(i, enter)
+			*pivots++
+			continue
+		}
+		// Redundant row: drop it.
+		last := len(t.rows) - 1
+		t.rows[i] = t.rows[last]
+		t.basis[i] = t.basis[last]
+		t.rows = t.rows[:last]
+		t.basis = t.basis[:last]
+		i--
+	}
+	return nil
+}
+
+// extract reads the first n variable values from the basis.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			v := t.rows[i][t.total]
+			if v < 0 && v > -eps {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

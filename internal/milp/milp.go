@@ -1,0 +1,238 @@
+// Package milp implements a small mixed-integer linear programming solver:
+// branch and bound over LP relaxations solved by package lp. It stands in
+// for the Gurobi dependency of the paper's MILP-based floorplanner (ref [3])
+// and is adequate for the 0/1 placement-selection models that floorplanner
+// produces.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"resched/internal/lp"
+)
+
+// Problem is a linear program in which a subset of the variables is
+// restricted to integer (optionally 0/1) values.
+type Problem struct {
+	// LP is the underlying relaxation. Variables are non-negative.
+	LP *lp.Problem
+	// integer[i] marks variable i as integral.
+	integer []bool
+	// upper[i] is an optional explicit upper bound (NaN when absent);
+	// binary variables receive upper bound 1.
+	upper []float64
+}
+
+// New creates a MILP over n non-negative continuous variables; mark
+// integrality with SetInteger / SetBinary.
+func New(n int) *Problem {
+	up := make([]float64, n)
+	for i := range up {
+		up[i] = math.NaN()
+	}
+	return &Problem{LP: lp.NewProblem(n), integer: make([]bool, n), upper: up}
+}
+
+// SetInteger restricts variable i to non-negative integers.
+func (p *Problem) SetInteger(i int) { p.integer[i] = true }
+
+// SetBinary restricts variable i to {0, 1}.
+func (p *Problem) SetBinary(i int) {
+	p.integer[i] = true
+	p.upper[i] = 1
+}
+
+// SetUpper bounds variable i from above.
+func (p *Problem) SetUpper(i int, u float64) { p.upper[i] = u }
+
+// Integer reports whether variable i is integral.
+func (p *Problem) Integer(i int) bool { return p.integer[i] }
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal: proved optimal integral solution.
+	Optimal Status = iota
+	// Infeasible: no integral solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded.
+	Unbounded
+	// Feasible: search limit hit; best incumbent returned without proof.
+	Feasible
+	// Limit: search limit hit with no incumbent found.
+	Limit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Feasible:
+		return "feasible"
+	case Limit:
+		return "limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps explored nodes (0 = unlimited).
+	MaxNodes int
+	// Deadline aborts the search when passed (zero = none).
+	Deadline time.Time
+	// FirstIncumbent stops at the first integral solution. Feasibility
+	// queries (such as the floorplanner's) use this.
+	FirstIncumbent bool
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Nodes is the number of explored branch-and-bound nodes.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// node is one subproblem: the base LP plus integer bound tightenings.
+type node struct {
+	lo, hi []float64 // per-variable extra bounds (NaN = none)
+}
+
+// Solve runs depth-first branch and bound.
+func (p *Problem) Solve(opt Options) (*Solution, error) {
+	n := p.LP.NumVars()
+	root := node{lo: make([]float64, n), hi: make([]float64, n)}
+	for i := range root.lo {
+		root.lo[i] = math.NaN()
+		root.hi[i] = p.upper[i]
+	}
+	sol := &Solution{Status: Limit}
+	var best []float64
+	bestObj := math.Inf(-1)
+	if !p.LP.Maximizing() {
+		bestObj = math.Inf(1)
+	}
+	better := func(a, b float64) bool {
+		if p.LP.Maximizing() {
+			return a > b+1e-9
+		}
+		return a < b-1e-9
+	}
+
+	stack := []node{root}
+	for len(stack) > 0 {
+		if opt.MaxNodes > 0 && sol.Nodes >= opt.MaxNodes {
+			return p.finish(sol, best, bestObj, false), nil
+		}
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			return p.finish(sol, best, bestObj, false), nil
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sol.Nodes++
+
+		relax := p.LP.Clone()
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if !math.IsNaN(nd.lo[i]) {
+				row[i] = 1
+				relax.AddConstraint(row, lp.GE, nd.lo[i])
+				row[i] = 0
+			}
+			if !math.IsNaN(nd.hi[i]) {
+				row[i] = 1
+				relax.AddConstraint(row, lp.LE, nd.hi[i])
+				row[i] = 0
+			}
+		}
+		rsol, err := relax.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("milp: node relaxation: %w", err)
+		}
+		switch rsol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// An unbounded relaxation at the root means the MILP itself is
+			// unbounded (or its boundedness cannot be established).
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		// Bound: prune when the relaxation cannot beat the incumbent.
+		if best != nil && !better(rsol.Objective, bestObj) {
+			continue
+		}
+		// Find the most fractional integral variable.
+		branch, frac := -1, 0.0
+		for i := 0; i < n; i++ {
+			if !p.integer[i] {
+				continue
+			}
+			f := rsol.X[i] - math.Floor(rsol.X[i])
+			d := math.Min(f, 1-f)
+			if d > intTol && d > frac {
+				branch, frac = i, d
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), rsol.X...)
+			for i := 0; i < n; i++ {
+				if p.integer[i] {
+					x[i] = math.Round(x[i])
+				}
+			}
+			if best == nil || better(rsol.Objective, bestObj) {
+				best, bestObj = x, rsol.Objective
+			}
+			if opt.FirstIncumbent {
+				return p.finish(sol, best, bestObj, false), nil
+			}
+			continue
+		}
+		// Branch on x_branch ≤ floor and x_branch ≥ ceil. Push the
+		// floor-branch last so DFS dives toward small values first, which
+		// suits 0/1 selection models.
+		up := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		dn := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		fl := math.Floor(rsol.X[branch])
+		up.lo[branch] = fl + 1
+		dn.hi[branch] = fl
+		stack = append(stack, up, dn)
+	}
+	if best == nil {
+		// The whole tree was explored without an integral solution.
+		sol.Status = Infeasible
+		return sol, nil
+	}
+	return p.finish(sol, best, bestObj, true), nil
+}
+
+// finish packages the incumbent (if any) with the right status.
+func (p *Problem) finish(sol *Solution, best []float64, bestObj float64, proved bool) *Solution {
+	if best == nil {
+		sol.Status = Limit
+		return sol
+	}
+	sol.X = best
+	sol.Objective = bestObj
+	if proved {
+		sol.Status = Optimal
+	} else {
+		sol.Status = Feasible
+	}
+	return sol
+}

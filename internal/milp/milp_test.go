@@ -1,0 +1,277 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"resched/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10x0 + 13x1 + 7x2, 3x0 + 4x1 + 2x2 ≤ 6, binary → x0=x2=1, z=17...
+	// check by brute force below; expected optimum: {x0,x2}: w=5 z=17,
+	// {x1,x2}: w=6 z=20 → best is 20.
+	p := New(3)
+	for i := 0; i < 3; i++ {
+		p.SetBinary(i)
+	}
+	p.LP.SetObjective([]float64{10, 13, 7}, true)
+	p.LP.AddConstraint([]float64{3, 4, 2}, lp.LE, 6)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-20) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 20", sol.Status, sol.Objective)
+	}
+	if math.Round(sol.X[1]) != 1 || math.Round(sol.X[2]) != 1 || math.Round(sol.X[0]) != 0 {
+		t.Errorf("X = %v, want (0,1,1)", sol.X)
+	}
+}
+
+func TestIntegerInfeasibleLPFeasible(t *testing.T) {
+	// 2x = 1 has the LP solution x = 0.5 but no integral solution.
+	p := New(1)
+	p.SetInteger(0)
+	p.LP.SetObjective([]float64{1}, true)
+	p.LP.AddConstraint([]float64{2}, lp.EQ, 1)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := New(1)
+	p.SetBinary(0)
+	p.LP.AddConstraint([]float64{1}, lp.GE, 2)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(1)
+	p.SetInteger(0)
+	p.LP.SetObjective([]float64{1}, true)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max x + y with x integer, x ≤ 2.5, y ≤ 0.5 → x=2, y=0.5.
+	p := New(2)
+	p.SetInteger(0)
+	p.LP.SetObjective([]float64{1, 1}, true)
+	p.LP.AddConstraint([]float64{1, 0}, lp.LE, 2.5)
+	p.LP.AddConstraint([]float64{0, 1}, lp.LE, 0.5)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-2.5) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want 2.5", sol.Status, sol.Objective)
+	}
+}
+
+func TestExactCoverFeasibility(t *testing.T) {
+	// Pick exactly one placement per region; placements 0&2 conflict.
+	// Region A: {0,1}; Region B: {2}; conflict x0 + x2 ≤ 1.
+	// Only assignment: x1 = 1, x2 = 1.
+	p := New(3)
+	for i := 0; i < 3; i++ {
+		p.SetBinary(i)
+	}
+	p.LP.AddConstraint([]float64{1, 1, 0}, lp.EQ, 1)
+	p.LP.AddConstraint([]float64{0, 0, 1}, lp.EQ, 1)
+	p.LP.AddConstraint([]float64{1, 0, 1}, lp.LE, 1)
+	sol, err := p.Solve(Options{FirstIncumbent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal && sol.Status != Feasible {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Round(sol.X[0]) != 0 || math.Round(sol.X[1]) != 1 || math.Round(sol.X[2]) != 1 {
+		t.Errorf("X = %v, want (0,1,1)", sol.X)
+	}
+}
+
+func TestMaxNodesLimit(t *testing.T) {
+	// A tiny limit on a non-trivial problem must return Limit or Feasible
+	// without error.
+	p := New(6)
+	for i := 0; i < 6; i++ {
+		p.SetBinary(i)
+	}
+	p.LP.SetObjective([]float64{3, 5, 7, 11, 13, 17}, true)
+	p.LP.AddConstraint([]float64{2, 3, 5, 7, 9, 11}, lp.LE, 16)
+	sol, err := p.Solve(Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == Optimal {
+		t.Fatalf("one node cannot prove optimality here: %v", sol.Status)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	p := New(4)
+	for i := 0; i < 4; i++ {
+		p.SetBinary(i)
+	}
+	p.LP.SetObjective([]float64{1, 2, 3, 4}, true)
+	p.LP.AddConstraint([]float64{1, 1, 1, 1}, lp.LE, 2)
+	sol, err := p.Solve(Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Limit && sol.Status != Feasible {
+		t.Fatalf("status = %v, want limit/feasible", sol.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	names := map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded",
+		Feasible: "feasible", Limit: "limit",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(42).String() == "" {
+		t.Error("unknown status empty")
+	}
+}
+
+func TestIntegerAccessor(t *testing.T) {
+	p := New(2)
+	p.SetInteger(1)
+	if p.Integer(0) || !p.Integer(1) {
+		t.Error("Integer accessor wrong")
+	}
+	p.SetUpper(0, 5)
+	p.LP.SetObjective([]float64{1, 0}, true)
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Fatalf("upper bound ignored: %v %v", sol.Status, sol.Objective)
+	}
+}
+
+// TestRandomKnapsacksAgainstBruteForce cross-checks B&B against exhaustive
+// enumeration on random 0/1 knapsacks with up to 10 items.
+func TestRandomKnapsacksAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(9)
+		val := make([]float64, n)
+		wgt := make([]float64, n)
+		for i := 0; i < n; i++ {
+			val[i] = float64(1 + rng.Intn(20))
+			wgt[i] = float64(1 + rng.Intn(10))
+		}
+		capacity := float64(5 + rng.Intn(20))
+
+		p := New(n)
+		for i := 0; i < n; i++ {
+			p.SetBinary(i)
+		}
+		p.LP.SetObjective(val, true)
+		p.LP.AddConstraint(wgt, lp.LE, capacity)
+		sol, err := p.Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			var v, w float64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					v += val[i]
+					w += wgt[i]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: milp %v, brute force %v", trial, sol.Objective, best)
+		}
+		// The reported X must itself be feasible and match the objective.
+		var v, w float64
+		for i := 0; i < n; i++ {
+			xi := math.Round(sol.X[i])
+			if xi != 0 && xi != 1 {
+				t.Fatalf("trial %d: non-binary x[%d]=%v", trial, i, sol.X[i])
+			}
+			v += val[i] * xi
+			w += wgt[i] * xi
+		}
+		if w > capacity+1e-6 || math.Abs(v-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: reported X infeasible or inconsistent", trial)
+		}
+	}
+}
+
+// TestRandomEqualityIPs cross-checks small integer equality systems.
+func TestRandomEqualityIPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		// Construct a feasible 0/1 assignment, then pose Σ a_i x_i = rhs.
+		a := make([]float64, n)
+		rhs := 0.0
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = float64(1 + rng.Intn(7))
+			if rng.Intn(2) == 1 {
+				want[i] = 1
+				rhs += a[i]
+			}
+		}
+		p := New(n)
+		for i := 0; i < n; i++ {
+			p.SetBinary(i)
+		}
+		p.LP.SetObjective(make([]float64, n), true)
+		p.LP.AddConstraint(a, lp.EQ, rhs)
+		sol, err := p.Solve(Options{FirstIncumbent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal && sol.Status != Feasible {
+			t.Fatalf("trial %d: constructed-feasible system reported %v", trial, sol.Status)
+		}
+		got := 0.0
+		for i := 0; i < n; i++ {
+			got += a[i] * math.Round(sol.X[i])
+		}
+		if math.Abs(got-rhs) > 1e-6 {
+			t.Fatalf("trial %d: solution violates equality: %v vs %v", trial, got, rhs)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package resources models the reconfigurable resources of an FPGA device
+// (the set R of the paper: CLB slices, block RAMs, DSP blocks), fixed-size
+// resource vectors, and the bitstream-size estimation of eq. (1).
+//
+// All quantities are integers. Time is expressed in ticks (1 tick = 1 µs by
+// convention) throughout the module; bitstream sizes are in bits.
+package resources
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies a reconfigurable resource type r ∈ R.
+type Kind int
+
+// The resource kinds of a Xilinx 7-series style device. The scheduler is
+// generic in |R|; these three cover the devices used in the paper.
+const (
+	CLB  Kind = iota // slice of configurable logic (CLB slice)
+	BRAM             // 36 Kb block RAM
+	DSP              // DSP48 block
+	NumKinds
+)
+
+// String returns the conventional short name of the resource kind.
+func (k Kind) String() string {
+	switch k {
+	case CLB:
+		return "CLB"
+	case BRAM:
+		return "BRAM"
+	case DSP:
+		return "DSP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all resource kinds in declaration order.
+func Kinds() []Kind { return []Kind{CLB, BRAM, DSP} }
+
+// Vector is a resource requirement or availability indexed by Kind
+// (res_{i,r} or maxRes_r in the paper).
+type Vector [NumKinds]int
+
+// Vec builds a Vector from per-kind counts.
+func Vec(clb, bram, dsp int) Vector { return Vector{clb, bram, dsp} }
+
+// Zero reports whether all components are zero.
+func (v Vector) Zero() bool { return v == Vector{} }
+
+// Add returns the component-wise sum v + w.
+func (v Vector) Add(w Vector) Vector {
+	for k := range v {
+		v[k] += w[k]
+	}
+	return v
+}
+
+// Sub returns the component-wise difference v - w.
+func (v Vector) Sub(w Vector) Vector {
+	for k := range v {
+		v[k] -= w[k]
+	}
+	return v
+}
+
+// Scale returns the component-wise product v * n.
+func (v Vector) Scale(n int) Vector {
+	for k := range v {
+		v[k] *= n
+	}
+	return v
+}
+
+// Fits reports whether v fits within w component-wise (v ≤ w).
+func (v Vector) Fits(w Vector) bool {
+	for k := range v {
+		if v[k] > w[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vector) Max(w Vector) Vector {
+	for k := range v {
+		if w[k] > v[k] {
+			v[k] = w[k]
+		}
+	}
+	return v
+}
+
+// NonNegative reports whether every component is ≥ 0.
+func (v Vector) NonNegative() bool {
+	for _, c := range v {
+		if c < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the plain sum of all components (Σ_r v_r).
+func (v Vector) Total() int {
+	t := 0
+	for _, c := range v {
+		t += c
+	}
+	return t
+}
+
+// String renders the vector as "CLB:n BRAM:n DSP:n".
+func (v Vector) String() string {
+	var b strings.Builder
+	for _, k := range Kinds() {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[k])
+	}
+	return b.String()
+}
+
+// BitsPerUnit gives bit_r of eq. (1): the average number of configuration
+// bits needed to (re)configure one unit of resource kind r. The values are
+// derived from Xilinx 7-series configuration-frame geometry (a frame is
+// 101 words × 32 bits = 3 232 bits):
+//
+//   - a CLB column spans 50 slices and takes 36 frames → ~2 327 bits/slice;
+//   - a BRAM column spans 10 RAMB36 and takes 28 interconnect frames plus
+//     the content frames shared per column → ~26 400 bits/BRAM36;
+//   - a DSP column spans 20 DSP48 and takes 28 frames → ~3 780 bits/DSP48.
+//
+// Following Vipin & Fahmy (ref [14] of the paper) these are averages over a
+// tile, adequate for the scheduler's reconfiguration-time estimate.
+type BitsPerUnit [NumKinds]int64
+
+// DefaultBits is the 7-series derived bit_r table described above.
+var DefaultBits = BitsPerUnit{
+	CLB:  2327,
+	BRAM: 26400,
+	DSP:  3780,
+}
+
+// BitstreamBits implements eq. (1): the estimated partial-bitstream size of
+// a reconfigurable region with resource requirements v.
+func (bp BitsPerUnit) BitstreamBits(v Vector) int64 {
+	var bits int64
+	for k, c := range v {
+		bits += int64(c) * bp[k]
+	}
+	return bits
+}
+
+// Weights holds weightRes_r of eq. (4): the relative scarcity weight of each
+// resource kind on a device with capacity maxRes.
+type Weights [NumKinds]float64
+
+// WeightsFor computes eq. (4) for the given device capacity:
+//
+//	weightRes_r = 1 - maxRes_r / Σ_{r'} maxRes_{r'}
+//
+// Scarce kinds (few units) receive weights close to 1, abundant kinds
+// receive lower weights, steering implementation costs toward sparing the
+// scarce resources.
+func WeightsFor(maxRes Vector) Weights {
+	var w Weights
+	total := maxRes.Total()
+	if total == 0 {
+		return w
+	}
+	for k := range w {
+		w[k] = 1 - float64(maxRes[k])/float64(total)
+	}
+	return w
+}
+
+// Weighted returns Σ_r v_r · w_r, the weighted resource footprint used by
+// both the implementation cost (eq. (3)) and the efficiency index (eq. (5)).
+func (w Weights) Weighted(v Vector) float64 {
+	var s float64
+	for k, c := range v {
+		s += float64(c) * w[k]
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package resources
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{CLB: "CLB", BRAM: "BRAM", DSP: "DSP", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestKindsOrder(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(NumKinds) {
+		t.Fatalf("Kinds() has %d entries, want %d", len(ks), NumKinds)
+	}
+	for i, k := range ks {
+		if int(k) != i {
+			t.Errorf("Kinds()[%d] = %v, want kind %d", i, k, i)
+		}
+	}
+}
+
+func TestVecAccessors(t *testing.T) {
+	v := Vec(10, 2, 3)
+	if v[CLB] != 10 || v[BRAM] != 2 || v[DSP] != 3 {
+		t.Fatalf("Vec(10,2,3) = %v", v)
+	}
+	if v.Zero() {
+		t.Error("non-zero vector reported Zero")
+	}
+	if !(Vector{}).Zero() {
+		t.Error("zero vector not reported Zero")
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a, b := Vec(5, 1, 2), Vec(3, 4, 0)
+	if got, want := a.Add(b), Vec(8, 5, 2); got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := a.Sub(b), Vec(2, -3, 2); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := a.Scale(3), Vec(15, 3, 6); got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+	if got, want := a.Max(b), Vec(5, 4, 2); got != want {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+	if a.Sub(b).NonNegative() {
+		t.Error("Sub with negative component reported NonNegative")
+	}
+	if !a.NonNegative() {
+		t.Error("non-negative vector misreported")
+	}
+	if got := a.Total(); got != 8 {
+		t.Errorf("Total = %d, want 8", got)
+	}
+}
+
+func TestFits(t *testing.T) {
+	cap := Vec(10, 5, 5)
+	if !Vec(10, 5, 5).Fits(cap) {
+		t.Error("equal vector should fit")
+	}
+	if !Vec(0, 0, 0).Fits(cap) {
+		t.Error("zero vector should fit")
+	}
+	if Vec(11, 0, 0).Fits(cap) {
+		t.Error("CLB overflow should not fit")
+	}
+	if Vec(0, 6, 0).Fits(cap) {
+		t.Error("BRAM overflow should not fit")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	if got, want := Vec(1, 2, 3).String(), "CLB:1 BRAM:2 DSP:3"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: Add is commutative and associative, Sub inverts Add.
+func TestVectorAlgebraProperties(t *testing.T) {
+	comm := func(a, b Vector) bool { a, b = clamp(a), clamp(b); return a.Add(b) == b.Add(a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a, b, c Vector) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		return a.Add(b).Add(c) == a.Add(b.Add(c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	inv := func(a, b Vector) bool { a, b = clamp(a), clamp(b); return a.Add(b).Sub(b) == a }
+	if err := quick.Check(inv, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp maps arbitrary quick-generated components into [0, 4096) so that
+// vector arithmetic in the properties cannot overflow int64.
+func clamp(v Vector) Vector {
+	for k := range v {
+		c := v[k] % 4096
+		if c < 0 {
+			c = -c
+		}
+		v[k] = c
+	}
+	return v
+}
+
+// Property: Fits is a partial order compatible with Add of non-negative
+// deltas.
+func TestFitsMonotone(t *testing.T) {
+	f := func(a, d Vector) bool {
+		a, d = clamp(a), clamp(d)
+		return a.Fits(a.Add(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitstreamBits(t *testing.T) {
+	bp := BitsPerUnit{CLB: 10, BRAM: 100, DSP: 1000}
+	if got := bp.BitstreamBits(Vec(1, 2, 3)); got != 10+200+3000 {
+		t.Errorf("BitstreamBits = %d, want 3210", got)
+	}
+	if got := bp.BitstreamBits(Vector{}); got != 0 {
+		t.Errorf("BitstreamBits(zero) = %d, want 0", got)
+	}
+}
+
+// Property: bitstream size is additive over region requirements (eq. (1) is
+// linear), which the schedulers rely on when merging requirements.
+func TestBitstreamAdditive(t *testing.T) {
+	f := func(a, b Vector) bool {
+		a, b = clamp(a), clamp(b)
+		bp := DefaultBits
+		return bp.BitstreamBits(a)+bp.BitstreamBits(b) == bp.BitstreamBits(a.Add(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsFor(t *testing.T) {
+	// Zynq-like capacities: CLB abundant, BRAM and DSP scarce.
+	w := WeightsFor(Vec(13300, 140, 220))
+	if !(w[BRAM] > w[CLB] && w[DSP] > w[CLB]) {
+		t.Errorf("scarce kinds should weigh more: %v", w)
+	}
+	// Weights must stay in [0,1] and sum to |R|-1 by construction of eq. (4).
+	sum := 0.0
+	for _, x := range w {
+		if x < 0 || x > 1 {
+			t.Errorf("weight out of range: %v", w)
+		}
+		sum += x
+	}
+	if math.Abs(sum-float64(NumKinds-1)) > 1e-9 {
+		t.Errorf("weights sum to %v, want %d", sum, NumKinds-1)
+	}
+}
+
+func TestWeightsForZeroDevice(t *testing.T) {
+	w := WeightsFor(Vector{})
+	if w != (Weights{}) {
+		t.Errorf("WeightsFor(zero) = %v, want zero weights", w)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w := Weights{CLB: 0.5, BRAM: 1, DSP: 0}
+	if got := w.Weighted(Vec(4, 3, 100)); got != 5 {
+		t.Errorf("Weighted = %v, want 5", got)
+	}
+}
+
+// Property: the weighted footprint is monotone in each resource component.
+func TestWeightedMonotone(t *testing.T) {
+	w := WeightsFor(Vec(13300, 140, 220))
+	f := func(a Vector, extra uint8, kind uint8) bool {
+		a = clamp(a)
+		b := a
+		b[int(kind)%int(NumKinds)] += int(extra)
+		return w.Weighted(b) >= w.Weighted(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

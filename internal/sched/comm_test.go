@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/isk"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// TestCommChainDelaysStart verifies the §VIII communication-overhead
+// extension end to end: a producer–consumer pair with an explicit transfer
+// time must be separated by at least that time in PA's schedule.
+func TestCommChainDelaysStart(t *testing.T) {
+	g := taskgraph.New("comm")
+	g.AddTask("produce", sw("p_sw", 400), hw("p_hw", 100, 500, 0, 0))
+	g.AddTask("consume", sw("c_sw", 400), hw("c_hw", 100, 500, 0, 0))
+	if err := g.AddEdgeComm(0, 1, 250); err != nil {
+		t.Fatal(err)
+	}
+	sch, _ := mustSchedule(t, g, arch.ZedBoard(), Options{})
+	if got := sch.Tasks[1].Start - sch.Tasks[0].End; got < 250 {
+		t.Errorf("consumer starts %d ticks after producer, want ≥ 250", got)
+	}
+	// With both tasks in hardware the makespan is exactly
+	// 100 + 250 + 100.
+	if sch.HWTaskCount() == 2 && sch.Makespan != 450 {
+		t.Errorf("makespan = %d, want 450", sch.Makespan)
+	}
+}
+
+// TestCommZeroMatchesPlainEdge checks that a zero-communication edge
+// behaves exactly like a plain AddEdge.
+func TestCommZeroMatchesPlainEdge(t *testing.T) {
+	build := func(withComm bool) *taskgraph.Graph {
+		g := taskgraph.New("z")
+		g.AddTask("a", sw("a_sw", 300), hw("a_hw", 80, 400, 0, 0))
+		g.AddTask("b", sw("b_sw", 300), hw("b_hw", 80, 400, 0, 0))
+		if withComm {
+			if err := g.AddEdgeComm(0, 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			g.MustEdge(0, 1)
+		}
+		return g
+	}
+	a := arch.ZedBoard()
+	s1, _ := mustSchedule(t, build(false), a, Options{SkipFloorplan: true})
+	s2, _ := mustSchedule(t, build(true), a, Options{SkipFloorplan: true})
+	if s1.Makespan != s2.Makespan {
+		t.Errorf("zero comm changed the schedule: %d vs %d", s1.Makespan, s2.Makespan)
+	}
+}
+
+// TestCommSuiteAllSchedulersValid runs every scheduler on communication-
+// annotated synthetic instances and validates the results with the
+// independent checker (which enforces end + comm ≤ start per edge).
+func TestCommSuiteAllSchedulersValid(t *testing.T) {
+	a := arch.ZedBoard()
+	for _, n := range []int{15, 35} {
+		g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(700 + n), CommMax: 300})
+		// Sanity: the generator produced at least one positive comm.
+		any := false
+		for _, e := range g.Edges() {
+			if g.EdgeComm(e[0], e[1]) > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			t.Fatalf("n=%d: generator produced no communication times", n)
+		}
+
+		pa, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
+		par, _, err := RSchedule(g, a, RandomOptions{MaxIterations: 8, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := schedule.Check(par); len(errs) > 0 {
+			t.Fatalf("n=%d: PA-R schedule invalid: %v", n, errs[0])
+		}
+		is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, SkipFloorplan: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := schedule.Check(is1); len(errs) > 0 {
+			t.Fatalf("n=%d: IS-1 schedule invalid: %v", n, errs[0])
+		}
+		is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, SkipFloorplan: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := schedule.Check(is5); len(errs) > 0 {
+			t.Fatalf("n=%d: IS-5 schedule invalid: %v", n, errs[0])
+		}
+		// The makespan is bounded below by the longest comm-weighted path
+		// with minimal execution times.
+		var lb int64
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		longest := make([]int64, g.N())
+		for _, v := range order {
+			longest[v] = g.Tasks[v].MinTime()
+			for _, p := range g.Pred(v) {
+				if c := longest[p] + g.EdgeComm(p, v) + g.Tasks[v].MinTime(); c > longest[v] {
+					longest[v] = c
+				}
+			}
+			if longest[v] > lb {
+				lb = longest[v]
+			}
+		}
+		if pa.Makespan < lb {
+			t.Errorf("n=%d: makespan %d below comm-weighted critical path %d", n, pa.Makespan, lb)
+		}
+	}
+}
+
+// TestCommSoftwarePath exercises communication between software tasks on
+// different processors.
+func TestCommSoftwarePath(t *testing.T) {
+	a := &arch.Architecture{
+		Name: "cpuonly", Processors: 2, RecFreq: 3200,
+		Bits: resources.DefaultBits, MaxRes: resources.Vec(10, 0, 0),
+	}
+	g := taskgraph.New("sw-comm")
+	g.AddTask("a", sw("a_sw", 100))
+	g.AddTask("b", sw("b_sw", 100))
+	g.AddTask("c", sw("c_sw", 100))
+	if err := g.AddEdgeComm(0, 2, 500); err != nil {
+		t.Fatal(err)
+	}
+	g.MustEdge(1, 2)
+	sch, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
+	// c must wait for a's data: 100 + 500 + 100.
+	if sch.Makespan != 700 {
+		t.Errorf("makespan = %d, want 700", sch.Makespan)
+	}
+}

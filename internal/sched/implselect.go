@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"math"
+
+	"resched/internal/taskgraph"
+)
+
+// implCost computes eq. (3): the cost of a hardware implementation combines
+// its weighted relative resource footprint on the device with its execution
+// time normalised by maxT (the fully-serial lower-bound schedule length).
+// Scarce resources weigh more (eq. (4)).
+func (s *state) implCost(im taskgraph.Implementation, maxT int64) float64 {
+	den := s.weights.Weighted(s.a.MaxRes)
+	var resTerm float64
+	if den > 0 {
+		resTerm = s.weights.Weighted(im.Res) / den
+	}
+	var timeTerm float64
+	if maxT > 0 {
+		timeTerm = float64(im.Time) / float64(maxT)
+	}
+	return resTerm + timeTerm
+}
+
+// maxT computes Σ_t min_{i∈I_t} time_i (eq. (4)).
+func (s *state) maxT() int64 {
+	var sum int64
+	for _, t := range s.g.Tasks {
+		sum += t.MinTime()
+	}
+	return sum
+}
+
+// efficiency computes eq. (5): the ratio between an implementation's
+// execution time and its weighted resource footprint. Resource-efficient
+// implementations (high ratio) spread load over the reconfigurable logic.
+func (s *state) efficiency(im taskgraph.Implementation) float64 {
+	den := s.weights.Weighted(im.Res)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return float64(im.Time) / den
+}
+
+// selectImplementations runs phase 1 (§V-A): for every task pick the
+// lowest-cost hardware implementation and the fastest software
+// implementation, then keep whichever executes faster (HW preferred on
+// ties).
+func (s *state) selectImplementations() {
+	mt := s.maxT()
+	for _, task := range s.g.Tasks {
+		bestHW, bestHWCost := -1, 0.0
+		for _, i := range task.HWImpls() {
+			c := s.implCost(task.Impls[i], mt)
+			if bestHW < 0 || c < bestHWCost ||
+				(c == bestHWCost && task.Impls[i].Time < task.Impls[bestHW].Time) {
+				bestHW, bestHWCost = i, c
+			}
+		}
+		bestSW := task.FastestSW()
+		switch {
+		case bestHW < 0:
+			s.setImpl(task.ID, bestSW)
+		case bestSW < 0:
+			s.setImpl(task.ID, bestHW)
+		case task.Impls[bestSW].Time < task.Impls[bestHW].Time:
+			s.setImpl(task.ID, bestSW)
+		default:
+			s.setImpl(task.ID, bestHW)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/floorplan"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// RandomOptions tune the randomized scheduler PA-R (Algorithm 1 of §VI).
+type RandomOptions struct {
+	// TimeBudget is the wall-clock budget (timeToRun of Algorithm 1);
+	// zero means no time limit (MaxIterations must then be set).
+	TimeBudget time.Duration
+	// MaxIterations optionally caps the number of inner scheduling runs
+	// (0 = unlimited). Benchmarks use it for deterministic workloads.
+	MaxIterations int
+	// Seed initialises the random generator; runs are reproducible.
+	Seed int64
+	// ModuleReuse is forwarded to the inner scheduler.
+	ModuleReuse bool
+	// Floorplan configures the feasibility queries on improving solutions.
+	Floorplan floorplan.Options
+}
+
+// ImprovementPoint records when the incumbent improved, for the
+// anytime-convergence analysis of Fig. 6.
+type ImprovementPoint struct {
+	// Elapsed is the wall-clock time since the start of the search.
+	Elapsed time.Duration
+	// Iteration is the inner run that produced the improvement.
+	Iteration int
+	// Makespan is the improved schedule execution time.
+	Makespan int64
+}
+
+// RandomStats describes a PA-R search.
+type RandomStats struct {
+	// Iterations counts inner scheduling runs.
+	Iterations int
+	// FloorplanCalls counts feasibility queries (only improving schedules
+	// are floorplanned, amortising the floorplanner cost — §VI).
+	FloorplanCalls int
+	// Discarded counts improving schedules rejected as floorplan-infeasible.
+	Discarded int
+	// CapacityFactor is the final virtual-capacity scaling: PA-R shrinks
+	// its accounting capacity whenever a candidate is discarded as
+	// unplaceable, steering later iterations toward floorplannable region
+	// sets (the randomized counterpart of §V-H's restart-and-shrink).
+	CapacityFactor float64
+	// History records every accepted improvement.
+	History []ImprovementPoint
+	// Elapsed is the total search time.
+	Elapsed time.Duration
+}
+
+// RSchedule runs the randomized scheduler variant: the core heuristic is
+// re-executed with random non-critical task orderings until the budget
+// expires; an improving schedule is kept only if the floorplanner accepts
+// its regions, and infeasible candidates are simply discarded (no virtual
+// resource shrinking, unlike the deterministic variant).
+func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*schedule.Schedule, *RandomStats, error) {
+	if opts.TimeBudget <= 0 && opts.MaxIterations <= 0 {
+		return nil, nil, fmt.Errorf("sched: PA-R needs a time budget or an iteration cap")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, nil, err
+	}
+	fabric, err := a.RequireFabric()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: PA-R floorplans improving schedules: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeBudget > 0 {
+		deadline = start.Add(opts.TimeBudget)
+	}
+	stats := &RandomStats{}
+	var best *schedule.Schedule
+
+	inner := Options{
+		ModuleReuse:   opts.ModuleReuse,
+		SkipFloorplan: true,
+		Rand:          rng,
+	}
+	capFactor := 1.0
+	const capShrink, capFloor = 0.92, 0.40
+	for {
+		if opts.MaxIterations > 0 && stats.Iterations >= opts.MaxIterations {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		maxRes := a.MaxRes
+		for k := range maxRes {
+			maxRes[k] = int(float64(maxRes[k]) * capFactor)
+		}
+		// The very first run uses the deterministic efficiency ordering —
+		// the random search then only has to beat PA's own solution; every
+		// later run draws a random non-critical order (Algorithm 1).
+		runOpts := inner
+		if stats.Iterations == 0 {
+			runOpts.Rand = nil
+		}
+		// Run at least one iteration even with a tiny budget.
+		sch, regionRes, err := runPipeline(g, a, maxRes, runOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Iterations++
+		if best != nil && sch.Makespan >= best.Makespan {
+			continue
+		}
+		// Improving schedule: validate the floorplan before accepting.
+		stats.FloorplanCalls++
+		fpOpts := opts.Floorplan
+		if fpOpts.Deadline.IsZero() && !deadline.IsZero() {
+			fpOpts.Deadline = deadline
+		}
+		if fpOpts.MaxNodes == 0 {
+			// Bound each feasibility query so a hard instance cannot eat
+			// the whole search budget; an unproven verdict just shrinks the
+			// virtual capacity and moves on.
+			fpOpts.MaxNodes = 20000
+		}
+		res, err := floorplan.Solve(fabric, regionRes, fpOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !res.Feasible {
+			stats.Discarded++
+			if capFactor > capFloor {
+				capFactor *= capShrink
+			}
+			continue
+		}
+		sch.Algorithm = "PA-R"
+		best = sch
+		stats.History = append(stats.History, ImprovementPoint{
+			Elapsed:   time.Since(start),
+			Iteration: stats.Iterations,
+			Makespan:  sch.Makespan,
+		})
+	}
+	stats.Elapsed = time.Since(start)
+	stats.CapacityFactor = capFactor
+	if best == nil {
+		// Fall back to the deterministic scheduler (with shrinking) so a
+		// budget too small to find a feasible randomized solution still
+		// yields an answer.
+		sch, _, err := Schedule(g, a, Options{ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan})
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched: PA-R found no feasible schedule: %w", err)
+		}
+		sch.Algorithm = "PA-R"
+		return sch, stats, nil
+	}
+	return best, stats, nil
+}
+
+// regionRequirements extracts the region resource vectors of a schedule,
+// for callers that floorplan separately.
+func regionRequirements(sch *schedule.Schedule) []resources.Vector {
+	out := make([]resources.Vector, len(sch.Regions))
+	for i, r := range sch.Regions {
+		out[i] = r.Res
+	}
+	return out
+}

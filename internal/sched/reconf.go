@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// reconfTask is one reconfiguration rt ∈ RT (§V-G): it loads the bitstream
+// of out between the executions of in and out inside a region.
+type reconfTask struct {
+	region     *regionState
+	in, out    int
+	start, end int64
+}
+
+// buildReconfTasks derives the reconfiguration tasks from the region
+// contents: one per consecutive pair of tasks in a region, skipping pairs
+// that share an implementation name when module reuse is enabled (the
+// paper's future-work extension).
+func (s *state) buildReconfTasks(moduleReuse bool) []*reconfTask {
+	var rts []*reconfTask
+	for _, r := range s.regions {
+		tasks := s.regionTasksByStart(r)
+		for k := 1; k < len(tasks); k++ {
+			tin, tout := tasks[k-1], tasks[k]
+			if moduleReuse && s.selectedImpl(tin).Name == s.selectedImpl(tout).Name {
+				continue
+			}
+			rts = append(rts, &reconfTask{region: r, in: tin, out: tout})
+		}
+	}
+	return rts
+}
+
+// channelSet tracks the busy intervals of the reconfiguration controllers
+// (one in the paper; ref [8]'s multi-controller generalisation is supported
+// as an extension). Each channel keeps its reconfigurations sorted by start.
+type channelSet struct {
+	chans [][]*reconfTask
+}
+
+func newChannelSet(n int) *channelSet { return &channelSet{chans: make([][]*reconfTask, n)} }
+
+// earliest returns the channel and start of the earliest placement of a
+// dur-long reconfiguration beginning at or after tmin.
+func (cs *channelSet) earliest(tmin, dur int64) (int, int64) {
+	bestC, bestS := 0, int64(-1)
+	for c := range cs.chans {
+		st := gapSearch(cs.chans[c], tmin, dur)
+		if bestS < 0 || st < bestS {
+			bestC, bestS = c, st
+		}
+	}
+	return bestC, bestS
+}
+
+// insert places rt (whose start/end are set) on channel c.
+func (cs *channelSet) insert(c int, rt *reconfTask) {
+	tl := cs.chans[c]
+	i := sort.Search(len(tl), func(k int) bool { return tl[k].start >= rt.start })
+	tl = append(tl, nil)
+	copy(tl[i+1:], tl[i:])
+	tl[i] = rt
+	cs.chans[c] = tl
+}
+
+// lastEnd returns the latest end on channel c (0 when idle).
+func (cs *channelSet) lastEnd(c int) int64 {
+	tl := cs.chans[c]
+	var end int64
+	for _, rt := range tl {
+		if rt.end > end {
+			end = rt.end
+		}
+	}
+	return end
+}
+
+// minLastEndChannel returns the channel whose last reconfiguration ends
+// first — the back-to-back target for critical reconfigurations.
+func (cs *channelSet) minLastEndChannel() (int, int64) {
+	bestC, bestE := 0, cs.lastEnd(0)
+	for c := 1; c < len(cs.chans); c++ {
+		if e := cs.lastEnd(c); e < bestE {
+			bestC, bestE = c, e
+		}
+	}
+	return bestC, bestE
+}
+
+// scheduleReconfigs runs phase 7 (§V-G): place every reconfiguration on the
+// reconfiguration controller(s), critical reconfigurations (those whose
+// outgoing task is critical) first, then repair any inconsistencies
+// introduced by delay propagation.
+//
+// Deviation from the paper: for non-critical reconfigurations the paper
+// shifts already-scheduled reconfigurations ahead in time on collision; we
+// instead place the new reconfiguration in the first sufficiently large gap
+// of a controller timeline at or after its T_MIN. Both policies keep the
+// controllers conflict-free; first-fit never delays previously scheduled
+// reconfigurations, which simplifies the correctness argument, and the
+// subsequent repair pass handles every remaining interaction.
+func (s *state) scheduleReconfigs(moduleReuse bool) ([]*reconfTask, error) {
+	rts := s.buildReconfTasks(moduleReuse)
+	var crit, non []*reconfTask
+	for _, rt := range rts {
+		if s.critical(rt.out) {
+			crit = append(crit, rt)
+		} else {
+			non = append(non, rt)
+		}
+	}
+	byTmin := func(a []*reconfTask) {
+		sort.SliceStable(a, func(i, j int) bool { return s.end(a[i].in) < s.end(a[j].in) })
+	}
+	byTmin(crit)
+	byTmin(non)
+
+	cs := newChannelSet(s.a.ReconfiguratorCount())
+
+	// Critical reconfigurations: back-to-back on the least-loaded
+	// controller, each delay fully propagated (its outgoing task is on the
+	// critical path).
+	for _, rt := range crit {
+		tmin := s.end(rt.in) // step 1: recompute the window
+		c, lastEnd := cs.minLastEndChannel()
+		st := tmin
+		if lastEnd > st {
+			st = lastEnd
+		}
+		rt.start, rt.end = st, st+rt.region.reconf
+		cs.insert(c, rt)
+		if rt.end > s.start(rt.out) {
+			if err := s.delay(rt.out, rt.end); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Non-critical reconfigurations: earliest gap at or after T_MIN across
+	// the controllers.
+	for _, rt := range non {
+		tmin := s.end(rt.in)
+		c, st := cs.earliest(tmin, rt.region.reconf)
+		rt.start, rt.end = st, st+rt.region.reconf
+		cs.insert(c, rt)
+		if rt.end > s.start(rt.out) {
+			if err := s.delay(rt.out, rt.end); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.repairReconfigs(rts); err != nil {
+		return nil, err
+	}
+	return rts, nil
+}
+
+// gapSearch returns the earliest start ≥ tmin such that [start, start+dur)
+// avoids every interval in the start-sorted timeline.
+func gapSearch(timeline []*reconfTask, tmin, dur int64) int64 {
+	st := tmin
+	for _, rt := range timeline {
+		if rt.end <= st {
+			continue
+		}
+		if rt.start >= st+dur {
+			break
+		}
+		st = rt.end
+	}
+	return st
+}
+
+// repairReconfigs restores, after all delay propagation, the invariants
+// that (a) a reconfiguration starts no earlier than its ingoing task ends,
+// (b) reconfigurations never exceed the controller capacity, and (c) an
+// outgoing task starts no earlier than its reconfiguration ends.
+//
+// Each pass re-places every reconfiguration from scratch: tasks are taken
+// in order of their current earliest start (critical ones first on ties)
+// and dropped into the earliest sufficiently large controller gap, then
+// any outgoing task starting too early is delayed. Re-placement — rather
+// than pushing neighbouring reconfigurations later — is essential: pushing
+// creates a feedback channel outside the dependency DAG (A pushes B on the
+// reconfigurator while B's delayed output feeds A's input) that can grow
+// start times forever. With re-placement, mutual growth would require a
+// cycle in the combined task DAG, which cannot exist, so the loop reaches a
+// fixpoint; the guard converts a logic error into a diagnosable failure.
+func (s *state) repairReconfigs(rts []*reconfTask) error {
+	if len(rts) == 0 {
+		return nil
+	}
+	guard := 100 + 4*len(rts) + 4*s.g.N()
+	for iter := 0; iter < guard; iter++ {
+		order := append([]*reconfTask(nil), rts...)
+		sort.SliceStable(order, func(i, j int) bool {
+			li, lj := s.end(order[i].in), s.end(order[j].in)
+			if li != lj {
+				return li < lj
+			}
+			ci, cj := s.critical(order[i].out), s.critical(order[j].out)
+			if ci != cj {
+				return ci
+			}
+			return order[i].out < order[j].out
+		})
+		cs := newChannelSet(s.a.ReconfiguratorCount())
+		changed := false
+		for _, rt := range order {
+			lo := s.end(rt.in)
+			c, st := cs.earliest(lo, rt.region.reconf)
+			if st != rt.start {
+				rt.start, rt.end = st, st+rt.region.reconf
+			}
+			cs.insert(c, rt)
+			if rt.end > s.start(rt.out) {
+				if err := s.delay(rt.out, rt.end); err != nil {
+					return err
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: reconfiguration repair did not converge")
+}

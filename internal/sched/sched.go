@@ -1,0 +1,202 @@
+// Package sched implements the paper's contribution: PA, a deterministic
+// eight-phase scheduling heuristic for task graphs on partially
+// reconfigurable FPGA-based SoCs (§V), and PA-R, its randomized variant
+// (§VI). Both produce schedules validated by package schedule and
+// floorplanned by package floorplan.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/floorplan"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// Options tune a single deterministic scheduling run.
+type Options struct {
+	// ModuleReuse enables the paper's future-work extension: consecutive
+	// tasks in a region sharing an implementation name skip the
+	// reconfiguration between them.
+	ModuleReuse bool
+	// SkipFloorplan omits the feasibility check (phase 8). The randomized
+	// scheduler uses this for its inner runs and floorplans only promising
+	// solutions (Algorithm 1).
+	SkipFloorplan bool
+	// Floorplan configures the phase-8 feasibility query.
+	Floorplan floorplan.Options
+	// MaxRetries bounds the shrink-and-restart loop of §V-H (default 20).
+	MaxRetries int
+	// ShrinkFactor is the virtual capacity reduction applied per retry
+	// (default 0.93: retries are cheap, so shrink gently).
+	ShrinkFactor float64
+	// Rand, when non-nil, randomizes the non-critical task order in the
+	// regions-definition phase (the PA-R inner run).
+	Rand *rand.Rand
+	// StrictWindows switches region compatibility to the literal
+	// window-disjointness reading of §V-C instead of the default
+	// slot-insertion test; kept for ablation studies.
+	StrictWindows bool
+	// NoSWBalance disables the software-task-balancing phase (§V-D);
+	// kept for ablation studies.
+	NoSWBalance bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 20
+	}
+	if o.ShrinkFactor == 0 {
+		o.ShrinkFactor = 0.93
+	}
+	return o
+}
+
+// Stats reports how a scheduling run went; Table I of the paper splits PA's
+// execution time into scheduling and floorplanning, which these fields
+// regenerate.
+type Stats struct {
+	// SchedulingTime is the time spent in phases 1–7.
+	SchedulingTime time.Duration
+	// FloorplanTime is the time spent in phase 8 across all retries.
+	FloorplanTime time.Duration
+	// Retries counts shrink-and-restart rounds taken (0 = first try).
+	Retries int
+	// Placements holds the floorplan found for the final schedule's
+	// regions (empty when SkipFloorplan).
+	Placements []floorplan.Placement
+}
+
+// Schedule runs the deterministic PA heuristic on the instance and returns
+// a complete, floorplan-feasible schedule.
+func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule.Schedule, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	maxRes := a.MaxRes
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		sch, regionRes, err := runPipeline(g, a, maxRes, opts)
+		stats.SchedulingTime += time.Since(begin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.SkipFloorplan {
+			return sch, stats, nil
+		}
+		fabric, err := a.RequireFabric()
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched: floorplanning requested: %w", err)
+		}
+		fpBegin := time.Now()
+		res, err := floorplan.Solve(fabric, regionRes, opts.Floorplan)
+		stats.FloorplanTime += time.Since(fpBegin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Feasible {
+			stats.Placements = res.Placements
+			return sch, stats, nil
+		}
+		if attempt >= opts.MaxRetries {
+			return nil, nil, fmt.Errorf("sched: no floorplan-feasible schedule after %d shrink retries", attempt)
+		}
+		// §V-H: restart with virtually reduced FPGA resources.
+		stats.Retries++
+		for k := range maxRes {
+			maxRes[k] = int(float64(maxRes[k]) * opts.ShrinkFactor)
+		}
+	}
+}
+
+// runPipeline executes phases 1–7 and assembles the schedule.
+func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts Options) (*schedule.Schedule, []resources.Vector, error) {
+	s := newState(g, a, maxRes)
+	s.strict = opts.StrictWindows
+
+	// Phase 1: implementation selection.
+	s.selectImplementations()
+	// Phase 2: critical path extraction.
+	if err := s.retime(); err != nil {
+		return nil, nil, err
+	}
+	isCritical := make([]bool, g.N())
+	for t := range isCritical {
+		isCritical[t] = s.critical(t)
+	}
+	// Phase 3: regions definition.
+	if err := s.defineRegions(s.hwOrder(isCritical, opts.Rand), isCritical); err != nil {
+		return nil, nil, err
+	}
+	// Phase 4: software task balancing.
+	if !opts.NoSWBalance {
+		if err := s.balanceSoftware(); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Phase 5 is implicit: retime fixes T_START = T_MIN (§V-E).
+	if err := s.retime(); err != nil {
+		return nil, nil, err
+	}
+	// Phase 6: software task mapping.
+	if err := s.mapSoftware(); err != nil {
+		return nil, nil, err
+	}
+	// Phase 7: reconfigurations scheduling.
+	rts, err := s.scheduleReconfigs(opts.ModuleReuse)
+	if err != nil {
+		return nil, nil, err
+	}
+	sch := s.emit(rts, opts)
+	regionRes := make([]resources.Vector, len(s.regions))
+	for i, r := range s.regions {
+		regionRes[i] = r.res
+	}
+	return sch, regionRes, nil
+}
+
+// emit assembles the schedule.Schedule from the final state.
+func (s *state) emit(rts []*reconfTask, opts Options) *schedule.Schedule {
+	sch := schedule.New(s.g, s.a)
+	if opts.Rand != nil {
+		sch.Algorithm = "PA-R"
+	} else {
+		sch.Algorithm = "PA"
+	}
+	sch.ModuleReuse = opts.ModuleReuse
+	for _, r := range s.regions {
+		sch.AddRegion(r.res)
+	}
+	for t := 0; t < s.g.N(); t++ {
+		target := schedule.Target{Kind: schedule.OnProcessor, Index: s.procOf[t]}
+		if s.isHW(t) {
+			target = schedule.Target{Kind: schedule.OnRegion, Index: s.regionOf[t]}
+		}
+		sch.Tasks[t] = schedule.Assignment{
+			Impl:   s.impl[t],
+			Target: target,
+			Start:  s.start(t),
+			End:    s.end(t),
+		}
+	}
+	for _, rt := range rts {
+		sch.Reconfs = append(sch.Reconfs, schedule.Reconfiguration{
+			Region:  rt.region.id,
+			InTask:  rt.in,
+			OutTask: rt.out,
+			Start:   rt.start,
+			End:     rt.end,
+		})
+	}
+	sch.ComputeMakespan()
+	return sch
+}

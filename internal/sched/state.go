@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"fmt"
+
+	"resched/internal/arch"
+	"resched/internal/cpm"
+	"resched/internal/floorplan"
+	"resched/internal/resources"
+	"resched/internal/taskgraph"
+)
+
+// state carries the scheduler's working data across the eight phases of §V.
+// The combined dependency graph starts as the application task graph and
+// grows sequencing edges as tasks are ordered inside reconfigurable regions
+// and on processors.
+type state struct {
+	g *taskgraph.Graph
+	a *arch.Architecture
+	// maxRes is the (possibly virtually shrunk, §V-H) capacity used for
+	// region accounting.
+	maxRes  resources.Vector
+	weights resources.Weights
+	// cellSize[k] is the fabric column-cell granularity of resource kind
+	// k (1 when the architecture has no fabric). Region footprints are
+	// rounded up to whole cells for capacity accounting, matching what the
+	// floorplanner can actually place.
+	cellSize resources.Vector
+	// footprints caches fabric-aware capacity footprints per requirement.
+	footprints map[resources.Vector]resources.Vector
+	// strict selects the ablation mode that uses the literal §V-C
+	// window-disjointness test instead of slot-insertion compatibility.
+	strict bool
+
+	// impl[t] is the selected implementation index of task t.
+	impl []int
+	// dur[t] is the execution time of the selected implementation.
+	dur []int64
+
+	// Combined dependency graph: application edges + sequencing edges.
+	succ    [][]int
+	pred    [][]int
+	edgeSet map[[2]int]bool
+
+	// regions and placement bookkeeping.
+	regions  []*regionState
+	regionOf []int // region index per task, -1 for software tasks
+	procOf   []int // processor per software task, -1 before mapping
+	usedRes  resources.Vector
+
+	// release[t] is an externally imposed earliest start (reconfiguration
+	// induced delays).
+	release []int64
+
+	// Current timing (recomputed by retime): est doubles as the start
+	// time, lft is the latest finish without extending the makespan.
+	est, lft []int64
+	makespan int64
+}
+
+// regionState is a reconfigurable region under construction.
+type regionState struct {
+	id     int
+	res    resources.Vector
+	bits   int64
+	reconf int64
+	tasks  []int
+}
+
+// newState initialises the working state for one scheduling run.
+func newState(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector) *state {
+	n := g.N()
+	s := &state{
+		g:        g,
+		a:        a,
+		maxRes:   maxRes,
+		weights:  resources.WeightsFor(a.MaxRes),
+		impl:     make([]int, n),
+		dur:      make([]int64, n),
+		succ:     make([][]int, n),
+		pred:     make([][]int, n),
+		edgeSet:  make(map[[2]int]bool, n*2),
+		regionOf: make([]int, n),
+		procOf:   make([]int, n),
+		release:  make([]int64, n),
+	}
+	for k := range s.cellSize {
+		s.cellSize[k] = 1
+		if a.Fabric != nil && a.Fabric.UnitsPerCell[k] > 0 {
+			s.cellSize[k] = a.Fabric.UnitsPerCell[k]
+		}
+	}
+	for t := 0; t < n; t++ {
+		s.succ[t] = append([]int(nil), g.Succ(t)...)
+		s.pred[t] = append([]int(nil), g.Pred(t)...)
+		s.regionOf[t] = -1
+		s.procOf[t] = -1
+		for _, v := range g.Succ(t) {
+			s.edgeSet[[2]int{t, v}] = true
+		}
+	}
+	return s
+}
+
+// footprint estimates the device capacity a region of the given requirement
+// will actually consume once placed: the content of its minimal-area
+// placement rectangle on the fabric (which includes any columns of other
+// kinds the rectangle spans). Without a fabric it falls back to rounding up
+// to whole cells per kind. Keeping the accounting aligned with what the
+// floorplanner can place makes the §V-H shrink-and-restart loop rare.
+func (s *state) footprint(res resources.Vector) resources.Vector {
+	if s.a.Fabric != nil {
+		if fp, ok := s.footprints[res]; ok {
+			return fp
+		}
+		fp := floorplan.PlacementFootprint(s.a.Fabric, res)
+		if s.footprints == nil {
+			s.footprints = make(map[resources.Vector]resources.Vector)
+		}
+		s.footprints[res] = fp
+		return fp
+	}
+	for k, c := range res {
+		cell := s.cellSize[k]
+		res[k] = (c + cell - 1) / cell * cell
+	}
+	return res
+}
+
+// addEdge inserts a sequencing edge into the combined graph (idempotent).
+func (s *state) addEdge(from, to int) {
+	if from == to || s.edgeSet[[2]int{from, to}] {
+		return
+	}
+	s.edgeSet[[2]int{from, to}] = true
+	s.succ[from] = append(s.succ[from], to)
+	s.pred[to] = append(s.pred[to], from)
+}
+
+// setImpl selects implementation i for task t and refreshes its duration.
+func (s *state) setImpl(t, i int) {
+	s.impl[t] = i
+	s.dur[t] = s.g.Tasks[t].Impls[i].Time
+}
+
+// selectedImpl returns the implementation currently selected for t.
+func (s *state) selectedImpl(t int) taskgraph.Implementation {
+	return s.g.Tasks[t].Impls[s.impl[t]]
+}
+
+// isHW reports whether the selected implementation of t is hardware.
+func (s *state) isHW(t int) bool { return s.selectedImpl(t).Kind == taskgraph.HW }
+
+// retime recomputes the time windows over the combined graph: est (which is
+// also the start time of the schedule under construction — §V-E sets
+// T_START = T_MIN) via a forward pass honouring releases, lft via the
+// backward pass against the resulting makespan.
+func (s *state) retime() error {
+	// Sequencing edges communicate for free; application edges carry their
+	// declared communication time.
+	r, err := cpm.ComputeEdges(s.g.N(), s.succ, s.pred, s.dur, s.release, -1, s.g.EdgeComm)
+	if err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	s.est, s.lft, s.makespan = r.EST, r.LFT, r.Makespan
+	return nil
+}
+
+// critical reports whether t currently has zero slack.
+func (s *state) critical(t int) bool { return s.lft[t]-s.est[t]-s.dur[t] == 0 }
+
+// start and end of task t under the current timing.
+func (s *state) start(t int) int64 { return s.est[t] }
+func (s *state) end(t int) int64   { return s.est[t] + s.dur[t] }
+
+// window returns [T_MIN, T_MAX] of task t.
+func (s *state) window(t int) (int64, int64) { return s.est[t], s.lft[t] }
+
+// delay imposes an earliest start on task t and re-times the schedule.
+func (s *state) delay(t int, notBefore int64) error {
+	if notBefore <= s.release[t] {
+		return nil
+	}
+	s.release[t] = notBefore
+	return s.retime()
+}
+
+// newRegion opens a reconfigurable region sized for requirement res.
+func (s *state) newRegion(res resources.Vector) *regionState {
+	r := &regionState{
+		id:     len(s.regions),
+		res:    res,
+		bits:   s.a.BitstreamBits(res),
+		reconf: s.a.ReconfTime(res),
+	}
+	s.regions = append(s.regions, r)
+	s.usedRes = s.usedRes.Add(s.footprint(res))
+	return r
+}
+
+// assignToRegion places task t in region r and inserts the sequencing edges
+// that keep the region's tasks totally ordered by their current windows
+// (§V-C: "new dependencies are inserted into the taskgraph to guarantee the
+// ordering of tasks inside each reconfigurable region").
+func (s *state) assignToRegion(t int, r *regionState) error {
+	// Find t's neighbours among the region's tasks using the same slot
+	// semantics as windowsCompatible: a task whose fixed slot ends before
+	// t's window precedes t, anything else (compatibility guarantees its
+	// slot starts after t's window) follows t.
+	prev, next := -1, -1
+	for _, t2 := range r.tasks {
+		if s.end(t2) <= s.est[t] {
+			if prev < 0 || s.end(t2) > s.end(prev) {
+				prev = t2
+			}
+		} else {
+			if next < 0 || s.est[t2] < s.est[next] {
+				next = t2
+			}
+		}
+	}
+	if prev >= 0 {
+		s.addEdge(prev, t)
+	}
+	if next >= 0 {
+		s.addEdge(t, next)
+	}
+	r.tasks = append(r.tasks, t)
+	s.regionOf[t] = r.id
+	return s.retime()
+}
+
+// regionTasksByStart returns region r's tasks sorted by current start time.
+func (s *state) regionTasksByStart(r *regionState) []int {
+	out := append([]int(nil), r.tasks...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (s.est[out[j]] < s.est[out[j-1]] ||
+			(s.est[out[j]] == s.est[out[j-1]] && out[j] < out[j-1])); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// fitsDevice reports whether an additional requirement can be accounted on
+// the (possibly shrunk) device, in fabric-cell granularity.
+func (s *state) fitsDevice(extra resources.Vector) bool {
+	return s.usedRes.Add(s.footprint(extra)).Fits(s.maxRes)
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"resched/internal/taskgraph"
+)
+
+func errNoSoftwareFallback(t int) error {
+	return fmt.Errorf("sched: task %d has no software implementation to fall back to", t)
+}
+
+// totalReconfTime estimates the cumulative reconfiguration load per eq. (6):
+// each region with k tasks needs k-1 reconfigurations (the first module is
+// part of the initial configuration).
+func (s *state) totalReconfTime() int64 {
+	var tot int64
+	for _, r := range s.regions {
+		if n := int64(len(r.tasks)); n > 1 {
+			tot += r.reconf * (n - 1)
+		}
+	}
+	return tot
+}
+
+// balanceSoftware runs phase 4 (§V-D): software tasks that do have hardware
+// implementations are moved onto underutilised regions when their earliest
+// start lies beyond the estimated total reconfiguration time, so the move
+// cannot add contention on the reconfigurator.
+func (s *state) balanceSoftware() error {
+	// Candidates: software tasks with at least one HW implementation,
+	// by ascending T_MIN.
+	var cand []int
+	for t := 0; t < s.g.N(); t++ {
+		if !s.isHW(t) && len(s.g.Tasks[t].HWImpls()) > 0 {
+			cand = append(cand, t)
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if s.est[cand[a]] != s.est[cand[b]] {
+			return s.est[cand[a]] < s.est[cand[b]]
+		}
+		return cand[a] < cand[b]
+	})
+	mt := s.maxT()
+	for _, t := range cand {
+		if s.est[t] <= s.totalReconfTime() {
+			continue
+		}
+		// Lowest-cost hardware implementation that fits some compatible
+		// region.
+		task := s.g.Tasks[t]
+		bestImpl, bestCost := -1, 0.0
+		var bestRegion *regionState
+		var bestStart int64
+		for _, i := range task.HWImpls() {
+			im := task.Impls[i]
+			c := s.implCost(im, mt)
+			if bestImpl >= 0 && c >= bestCost {
+				continue
+			}
+			reg, st := s.regionForImpl(t, im, im.Time, -1)
+			if reg == nil {
+				continue
+			}
+			// The move trades a software execution for a hardware one plus
+			// a reconfiguration on the contended reconfigurator; take it
+			// only when the task finishes earlier by more than that
+			// reconfiguration, so the added ICAP load pays for itself.
+			benefit := (s.est[t] + s.dur[t]) - (st + im.Time)
+			if !s.strict && benefit <= reg.reconf {
+				continue
+			}
+			bestImpl, bestCost, bestRegion, bestStart = i, c, reg, st
+		}
+		if bestImpl < 0 {
+			continue
+		}
+		// Switching the implementation changes every window (the makespan
+		// usually shrinks), so the compatibility decision must be
+		// re-validated under fresh windows before sequencing edges are
+		// inserted — stale windows could order the region inconsistently
+		// with the dependency graph.
+		prevImpl := s.impl[t]
+		horizon := s.lft[t] // pre-switch window: the move can only improve on it
+		s.setImpl(t, bestImpl)
+		if err := s.retime(); err != nil {
+			return err
+		}
+		im := s.g.Tasks[t].Impls[bestImpl]
+		bestRegion, bestStart = s.regionForImpl(t, im, s.dur[t], horizon)
+		if bestRegion == nil {
+			s.setImpl(t, prevImpl)
+			if err := s.retime(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.placeInRegion(t, bestRegion, bestStart); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regionForImpl finds the lowest-bitstream region that can host task t with
+// implementation im (execution time dur), returning the insertion start.
+// horizon optionally widens the insertion bound beyond t's current window.
+func (s *state) regionForImpl(t int, im taskgraph.Implementation, dur int64, horizon int64) (*regionState, int64) {
+	var best *regionState
+	start := int64(-1)
+	for _, r := range s.regions {
+		if !im.Res.Fits(r.res) {
+			continue
+		}
+		var st int64
+		if s.strict {
+			if !s.windowsCompatible(r, t, false) {
+				continue
+			}
+			st = s.est[t]
+		} else {
+			st = s.insertionStart(r, t, dur, true, horizon)
+			if st < 0 {
+				continue
+			}
+		}
+		if best == nil || r.bits < best.bits {
+			best, start = r, st
+		}
+	}
+	return best, start
+}

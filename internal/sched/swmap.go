@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// mapSoftware runs phase 6 (§V-F): bind every software task to the
+// processor generating the least delay λ_p (eq. (8)), chaining a sequencing
+// edge behind the processor's previous task so the combined graph reflects
+// processor exclusivity; delays propagate through the usual re-timing.
+func (s *state) mapSoftware() error {
+	var sw []int
+	for t := 0; t < s.g.N(); t++ {
+		if !s.isHW(t) {
+			sw = append(sw, t)
+		}
+	}
+	if len(sw) > 0 && s.a.Processors == 0 {
+		return fmt.Errorf("sched: %d software tasks but the architecture has no processors", len(sw))
+	}
+	// Chronological order by T_MIN (ties by ID).
+	sort.Slice(sw, func(a, b int) bool {
+		if s.est[sw[a]] != s.est[sw[b]] {
+			return s.est[sw[a]] < s.est[sw[b]]
+		}
+		return sw[a] < sw[b]
+	})
+	procEnd := make([]int64, s.a.Processors)
+	procLast := make([]int, s.a.Processors)
+	for p := range procLast {
+		procLast[p] = -1
+	}
+	for _, t := range sw {
+		best, bestDelay := 0, int64(0)
+		for p := 0; p < s.a.Processors; p++ {
+			d := procEnd[p] - s.est[t]
+			if d < 0 {
+				d = 0
+			}
+			if p == 0 || d < bestDelay {
+				best, bestDelay = p, d
+			}
+		}
+		if procLast[best] >= 0 {
+			s.addEdge(procLast[best], t)
+			if err := s.retime(); err != nil {
+				return err
+			}
+		}
+		s.procOf[t] = best
+		procLast[best] = t
+		procEnd[best] = s.end(t)
+	}
+	return nil
+}

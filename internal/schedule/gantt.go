@@ -1,0 +1,86 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteGantt renders the schedule as a textual Gantt chart with one row per
+// processor, per region and for the reconfigurator, scaled to the given
+// width in character cells. It is meant for examples and debugging output.
+func (s *Schedule) WriteGantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	horizon := s.Makespan
+	for _, rc := range s.Reconfs {
+		if rc.End > horizon {
+			horizon = rc.End
+		}
+	}
+	if horizon == 0 {
+		horizon = 1
+	}
+	cell := func(t int64) int {
+		c := int(t * int64(width) / horizon)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  makespan=%d ticks  regions=%d  reconf-total=%d ticks\n",
+		s.Algorithm, s.Makespan, len(s.Regions), s.TotalReconfTime())
+	row := func(label string, spans []span) {
+		line := []byte(strings.Repeat(".", width))
+		for _, sp := range spans {
+			lo, hi := cell(sp.start), cell(sp.end-1)
+			for c := lo; c <= hi && c < width; c++ {
+				line[c] = sp.glyph
+			}
+		}
+		fmt.Fprintf(&b, "%-12s|%s|\n", label, line)
+	}
+	glyphFor := func(t int) byte {
+		return "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"[t%62]
+	}
+	for p := 0; p < s.Arch.Processors; p++ {
+		var spans []span
+		for _, t := range s.ProcessorTasks(p) {
+			a := s.Tasks[t]
+			spans = append(spans, span{a.Start, a.End, glyphFor(t)})
+		}
+		row(fmt.Sprintf("cpu%d", p), spans)
+	}
+	for r := range s.Regions {
+		var spans []span
+		for _, t := range s.RegionTasks(r) {
+			a := s.Tasks[t]
+			spans = append(spans, span{a.Start, a.End, glyphFor(t)})
+		}
+		row(fmt.Sprintf("region%d", r), spans)
+	}
+	var rcs []span
+	rcSorted := append([]Reconfiguration(nil), s.Reconfs...)
+	sort.Slice(rcSorted, func(i, j int) bool { return rcSorted[i].Start < rcSorted[j].Start })
+	for _, rc := range rcSorted {
+		rcs = append(rcs, span{rc.Start, rc.End, '#'})
+	}
+	row("reconf", rcs)
+	fmt.Fprintln(&b, "legend: task glyphs A..Z by ID, # = reconfiguration")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+type span struct {
+	start, end int64
+	glyph      byte
+}
+
+// Summary returns a one-line description of the schedule.
+func (s *Schedule) Summary() string {
+	return fmt.Sprintf("%s: makespan=%d regions=%d hwTasks=%d/%d reconfs=%d reconfTime=%d",
+		s.Algorithm, s.Makespan, len(s.Regions), s.HWTaskCount(), s.Graph.N(), len(s.Reconfs), s.TotalReconfTime())
+}

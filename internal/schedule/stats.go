@@ -1,0 +1,136 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stats summarises how a schedule uses the platform.
+type Stats struct {
+	// Makespan mirrors the schedule's execution time.
+	Makespan int64
+	// HWTasks and SWTasks count tasks by mapping.
+	HWTasks, SWTasks int
+	// Regions is |S|.
+	Regions int
+	// Reconfigurations is |RT| and ReconfTime their cumulative duration.
+	Reconfigurations int
+	ReconfTime       int64
+	// BusyProcessor[p] is the total execution time on processor p;
+	// BusyRegion[r] likewise per region.
+	BusyProcessor []int64
+	BusyRegion    []int64
+	// ProcessorUtil, RegionUtil and ReconfiguratorUtil are busy-time
+	// fractions of the makespan in [0, 1].
+	ProcessorUtil, RegionUtil, ReconfiguratorUtil float64
+	// CriticalResource names the resource kind with the highest fraction
+	// of the device consumed by regions.
+	CriticalResource string
+}
+
+// ComputeStats derives utilisation statistics from a schedule.
+func ComputeStats(s *Schedule) *Stats {
+	st := &Stats{
+		Makespan:         s.Makespan,
+		Regions:          len(s.Regions),
+		Reconfigurations: len(s.Reconfs),
+		ReconfTime:       s.TotalReconfTime(),
+		BusyProcessor:    make([]int64, s.Arch.Processors),
+		BusyRegion:       make([]int64, len(s.Regions)),
+	}
+	for t, a := range s.Tasks {
+		d := s.Impl(t).Time
+		switch a.Target.Kind {
+		case OnProcessor:
+			st.SWTasks++
+			if a.Target.Index >= 0 && a.Target.Index < len(st.BusyProcessor) {
+				st.BusyProcessor[a.Target.Index] += d
+			}
+		case OnRegion:
+			st.HWTasks++
+			if a.Target.Index >= 0 && a.Target.Index < len(st.BusyRegion) {
+				st.BusyRegion[a.Target.Index] += d
+			}
+		}
+	}
+	if s.Makespan > 0 {
+		var pb, rb int64
+		for _, b := range st.BusyProcessor {
+			pb += b
+		}
+		for _, b := range st.BusyRegion {
+			rb += b
+		}
+		if n := int64(s.Arch.Processors); n > 0 {
+			st.ProcessorUtil = float64(pb) / float64(n*s.Makespan)
+		}
+		if n := int64(len(s.Regions)); n > 0 {
+			st.RegionUtil = float64(rb) / float64(n*s.Makespan)
+		}
+		st.ReconfiguratorUtil = float64(st.ReconfTime) / float64(s.Makespan)
+	}
+	// Resource pressure per kind.
+	best, bestFrac := "", -1.0
+	tot := s.TotalRegionResources()
+	for k, c := range tot {
+		if s.Arch.MaxRes[k] == 0 {
+			continue
+		}
+		if f := float64(c) / float64(s.Arch.MaxRes[k]); f > bestFrac {
+			bestFrac = f
+			best = fmt.Sprint(kindName(k))
+		}
+	}
+	st.CriticalResource = best
+	return st
+}
+
+func kindName(k int) string {
+	switch k {
+	case 0:
+		return "CLB"
+	case 1:
+		return "BRAM"
+	case 2:
+		return "DSP"
+	default:
+		return fmt.Sprintf("kind%d", k)
+	}
+}
+
+// WriteReport renders a human-readable utilisation report.
+func (st *Stats) WriteReport(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan         %d ticks\n", st.Makespan)
+	fmt.Fprintf(&b, "tasks            %d hardware, %d software\n", st.HWTasks, st.SWTasks)
+	fmt.Fprintf(&b, "regions          %d (%d reconfigurations, %d ticks on the ICAP, %.0f%% busy)\n",
+		st.Regions, st.Reconfigurations, st.ReconfTime, 100*st.ReconfiguratorUtil)
+	fmt.Fprintf(&b, "processor util   %.0f%%\n", 100*st.ProcessorUtil)
+	fmt.Fprintf(&b, "region util      %.0f%%\n", 100*st.RegionUtil)
+	if st.CriticalResource != "" {
+		fmt.Fprintf(&b, "scarcest kind    %s\n", st.CriticalResource)
+	}
+	// Per-unit busy times, busiest first.
+	type row struct {
+		name string
+		busy int64
+	}
+	var rows []row
+	for p, busyTime := range st.BusyProcessor {
+		rows = append(rows, row{fmt.Sprintf("cpu%d", p), busyTime})
+	}
+	for r, busyTime := range st.BusyRegion {
+		rows = append(rows, row{fmt.Sprintf("region%d", r), busyTime})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].busy > rows[j].busy })
+	for _, r := range rows {
+		if r.busy == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s busy %d ticks\n", r.name, r.busy)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

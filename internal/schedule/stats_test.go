@@ -1,0 +1,183 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"resched/internal/taskgraph"
+)
+
+func TestComputeStats(t *testing.T) {
+	s := fixture(t)
+	st := ComputeStats(s)
+	if st.Makespan != 50 {
+		t.Errorf("Makespan = %d", st.Makespan)
+	}
+	if st.HWTasks != 2 || st.SWTasks != 1 {
+		t.Errorf("task split = %d/%d, want 2/1", st.HWTasks, st.SWTasks)
+	}
+	if st.Regions != 1 || st.Reconfigurations != 1 || st.ReconfTime != 10 {
+		t.Errorf("region stats wrong: %+v", st)
+	}
+	// cpu0 busy 50/50 = 100 %.
+	if st.ProcessorUtil != 1.0 {
+		t.Errorf("ProcessorUtil = %v, want 1", st.ProcessorUtil)
+	}
+	// region0 busy 40/50 = 80 %.
+	if st.RegionUtil != 0.8 {
+		t.Errorf("RegionUtil = %v, want 0.8", st.RegionUtil)
+	}
+	// ICAP busy 10/50 = 20 %.
+	if st.ReconfiguratorUtil != 0.2 {
+		t.Errorf("ReconfiguratorUtil = %v, want 0.2", st.ReconfiguratorUtil)
+	}
+	if st.BusyProcessor[0] != 50 || st.BusyRegion[0] != 40 {
+		t.Errorf("busy vectors wrong: %v %v", st.BusyProcessor, st.BusyRegion)
+	}
+	// Region uses 10/100 CLB vs 0 of other kinds → CLB is the scarcest.
+	if st.CriticalResource != "CLB" {
+		t.Errorf("CriticalResource = %q", st.CriticalResource)
+	}
+}
+
+func TestStatsEmptySchedule(t *testing.T) {
+	s := New(fixture(t).Graph, tinyArch())
+	// Unscheduled (zero) assignments: stats must not divide by zero.
+	st := ComputeStats(s)
+	if st.Makespan != 0 || st.ProcessorUtil != 0 || st.ReconfiguratorUtil != 0 {
+		t.Errorf("zero schedule produced nonzero stats: %+v", st)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	s := fixture(t)
+	var buf bytes.Buffer
+	if err := ComputeStats(s).WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"makespan", "2 hardware, 1 software", "cpu0", "region0", "scarcest"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestKindName(t *testing.T) {
+	if kindName(0) != "CLB" || kindName(1) != "BRAM" || kindName(2) != "DSP" {
+		t.Error("kind names")
+	}
+	if !strings.Contains(kindName(9), "9") {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := fixture(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf, s.Graph, s.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != s.Algorithm || back.Makespan != s.Makespan ||
+		back.ModuleReuse != s.ModuleReuse {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	if len(back.Regions) != len(s.Regions) || len(back.Reconfs) != len(s.Reconfs) {
+		t.Fatalf("shape lost")
+	}
+	for i := range s.Tasks {
+		if back.Tasks[i] != s.Tasks[i] {
+			t.Errorf("task %d assignment differs", i)
+		}
+	}
+	for i := range s.Regions {
+		if back.Regions[i] != s.Regions[i] {
+			t.Errorf("region %d differs: %+v vs %+v", i, back.Regions[i], s.Regions[i])
+		}
+	}
+}
+
+func TestScheduleJSONRejections(t *testing.T) {
+	s := fixture(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+
+	// Wrong graph.
+	other := taskgraph.New("other")
+	if _, err := ReadJSON(strings.NewReader(doc), other, s.Arch); err == nil {
+		t.Error("wrong graph accepted")
+	}
+	// Corrupted JSON.
+	if _, err := ReadJSON(strings.NewReader("{"), s.Graph, s.Arch); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	// Tampered schedule failing the checker.
+	tampered := strings.Replace(doc, "\"makespan\": 50", "\"makespan\": 1", 1)
+	if tampered == doc {
+		t.Fatal("tamper marker not found")
+	}
+	if _, err := ReadJSON(strings.NewReader(tampered), s.Graph, s.Arch); err == nil {
+		t.Error("invalid schedule accepted on load")
+	}
+	// Unknown target kind.
+	bad := strings.Replace(doc, "\"on\": \"processor\"", "\"on\": \"gpu\"", 1)
+	if _, err := ReadJSON(strings.NewReader(bad), s.Graph, s.Arch); err == nil {
+		t.Error("unknown target kind accepted")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	s := fixture(t)
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"<svg", "</svg>", "cpu0", "region0", "icap0", "makespan 50"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// Escaping: a task name with XML metacharacters must not break out.
+	s.Graph.Tasks[0].Name = `<evil&"name">`
+	buf.Reset()
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `<evil`) {
+		t.Error("XML metacharacters not escaped")
+	}
+	// Empty schedules render without division by zero.
+	empty := New(taskgraph.New("e"), tinyArch())
+	buf.Reset()
+	if err := empty.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Two controllers produce two ICAP rows.
+	s2 := fixture(t)
+	s2.Arch.Reconfigurators = 2
+	buf.Reset()
+	if err := s2.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "icap1") {
+		t.Error("second controller row missing")
+	}
+}
+
+func TestClipAndEscapeHelpers(t *testing.T) {
+	if clip("abcdef", 3) != "abc" || clip("ab", 5) != "ab" || clip("ab", 0) != "" {
+		t.Error("clip")
+	}
+	if xmlEscape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("xmlEscape = %q", xmlEscape(`a<b>&"c"`))
+	}
+}

@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// svg layout constants (pixels).
+const (
+	svgRowHeight   = 26
+	svgRowGap      = 6
+	svgLabelWidth  = 90
+	svgChartWidth  = 900
+	svgTopMargin   = 34
+	svgAxisHeight  = 26
+	svgTaskFill    = "#4e79a7"
+	svgSWFill      = "#59a14f"
+	svgReconfFill  = "#e15759"
+	svgTextColour  = "#222222"
+	svgTrackColour = "#f0f0f2"
+)
+
+// WriteSVG renders the schedule as an SVG Gantt chart: one row per
+// processor, one per region and one per reconfiguration controller. The
+// output is self-contained and viewable in any browser.
+func (s *Schedule) WriteSVG(w io.Writer) error {
+	horizon := s.Makespan
+	for _, rc := range s.Reconfs {
+		if rc.End > horizon {
+			horizon = rc.End
+		}
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	x := func(t int64) float64 {
+		return svgLabelWidth + float64(t)/float64(horizon)*svgChartWidth
+	}
+
+	type row struct {
+		label string
+		bars  []bar
+	}
+	var rows []row
+	for p := 0; p < s.Arch.Processors; p++ {
+		r := row{label: fmt.Sprintf("cpu%d", p)}
+		for _, t := range s.ProcessorTasks(p) {
+			a := s.Tasks[t]
+			r.bars = append(r.bars, bar{a.Start, a.End, s.Graph.Tasks[t].Name, svgSWFill})
+		}
+		rows = append(rows, r)
+	}
+	for reg := range s.Regions {
+		r := row{label: fmt.Sprintf("region%d", reg)}
+		for _, t := range s.RegionTasks(reg) {
+			a := s.Tasks[t]
+			r.bars = append(r.bars, bar{a.Start, a.End, s.Graph.Tasks[t].Name, svgTaskFill})
+		}
+		rows = append(rows, r)
+	}
+	// Reconfigurations on one row per controller, partitioned greedily by
+	// scheduled start (matching the simulator's channel assignment).
+	nICAP := s.Arch.ReconfiguratorCount()
+	icapRows := make([][]bar, nICAP)
+	rcOrder := make([]int, len(s.Reconfs))
+	for i := range rcOrder {
+		rcOrder[i] = i
+	}
+	sort.SliceStable(rcOrder, func(a, b int) bool { return s.Reconfs[rcOrder[a]].Start < s.Reconfs[rcOrder[b]].Start })
+	free := make([]int64, nICAP)
+	for _, idx := range rcOrder {
+		rc := s.Reconfs[idx]
+		best := 0
+		for c := 1; c < nICAP; c++ {
+			if free[c] < free[best] {
+				best = c
+			}
+		}
+		icapRows[best] = append(icapRows[best], bar{rc.Start, rc.End,
+			fmt.Sprintf("→%s", s.Graph.Tasks[rc.OutTask].Name), svgReconfFill})
+		free[best] = rc.End
+	}
+	for c := 0; c < nICAP; c++ {
+		rows = append(rows, row{label: fmt.Sprintf("icap%d", c), bars: icapRows[c]})
+	}
+
+	height := svgTopMargin + len(rows)*(svgRowHeight+svgRowGap) + svgAxisHeight
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
+		svgLabelWidth+svgChartWidth+20, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" fill="%s" font-size="13">%s — makespan %d ticks, %d regions, %d reconfigurations</text>`+"\n",
+		svgLabelWidth, svgTextColour, xmlEscape(s.Algorithm), s.Makespan, len(s.Regions), len(s.Reconfs))
+	y := svgTopMargin
+	for _, r := range rows {
+		fmt.Fprintf(&b, `<text x="4" y="%d" fill="%s">%s</text>`+"\n", y+svgRowHeight-9, svgTextColour, xmlEscape(r.label))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			svgLabelWidth, y, svgChartWidth, svgRowHeight, svgTrackColour)
+		for _, bar := range r.bars {
+			x0, x1 := x(bar.start), x(bar.end)
+			if x1-x0 < 1 {
+				x1 = x0 + 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s [%d,%d)</title></rect>`+"\n",
+				x0, y+2, x1-x0, svgRowHeight-4, bar.fill, xmlEscape(bar.label), bar.start, bar.end)
+			if x1-x0 > 34 {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#ffffff">%s</text>`+"\n",
+					x0+3, y+svgRowHeight-9, xmlEscape(clip(bar.label, int((x1-x0)/7))))
+			}
+		}
+		y += svgRowHeight + svgRowGap
+	}
+	// Time axis.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`+"\n",
+		svgLabelWidth, y, svgLabelWidth+svgChartWidth, y, svgTextColour)
+	for i := 0; i <= 10; i++ {
+		tx := svgLabelWidth + svgChartWidth*i/10
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">%d</text>`+"\n",
+			tx, y+16, svgTextColour, horizon*int64(i)/10)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+type bar struct {
+	start, end int64
+	label      string
+	fill       string
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func clip(s string, n int) string {
+	if n < 1 {
+		return ""
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

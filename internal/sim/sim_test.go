@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/isk"
+	"resched/internal/resources"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+func mustPA(t *testing.T, g *taskgraph.Graph) *schedule.Schedule {
+	t.Helper()
+	s, _, err := sched.Schedule(g, arch.ZedBoard(), sched.Options{SkipFloorplan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.Valid(s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// checkDynamic re-verifies every platform constraint on the executed
+// timeline (not just the static one).
+func checkDynamic(t *testing.T, s *schedule.Schedule, r *Result) {
+	t.Helper()
+	// Dependencies with communication.
+	for _, e := range s.Graph.Edges() {
+		if r.End[e[0]]+s.Graph.EdgeComm(e[0], e[1]) > r.Start[e[1]] {
+			t.Errorf("edge %v violated in executed timeline", e)
+		}
+	}
+	// Exclusivity per processor and region.
+	overlap := func(a0, a1, b0, b1 int64) bool { return a0 < b1 && b0 < a1 }
+	for p := 0; p < s.Arch.Processors; p++ {
+		q := s.ProcessorTasks(p)
+		for i := 0; i < len(q); i++ {
+			for j := i + 1; j < len(q); j++ {
+				if overlap(r.Start[q[i]], r.End[q[i]], r.Start[q[j]], r.End[q[j]]) {
+					t.Errorf("processor %d: executed tasks %d and %d overlap", p, q[i], q[j])
+				}
+			}
+		}
+	}
+	for reg := range s.Regions {
+		q := s.RegionTasks(reg)
+		for i := 0; i < len(q); i++ {
+			for j := i + 1; j < len(q); j++ {
+				if overlap(r.Start[q[i]], r.End[q[i]], r.Start[q[j]], r.End[q[j]]) {
+					t.Errorf("region %d: executed tasks %d and %d overlap", reg, q[i], q[j])
+				}
+			}
+		}
+	}
+	// Reconfigurator exclusivity and coupling.
+	for i := range s.Reconfs {
+		for j := i + 1; j < len(s.Reconfs); j++ {
+			if overlap(r.ReconfStart[i], r.ReconfEnd[i], r.ReconfStart[j], r.ReconfEnd[j]) {
+				t.Errorf("executed reconfigurations %d and %d overlap", i, j)
+			}
+		}
+		rc := s.Reconfs[i]
+		if rc.InTask >= 0 && r.ReconfStart[i] < r.End[rc.InTask] {
+			t.Errorf("reconfiguration %d starts before its ingoing task ends", i)
+		}
+		if r.ReconfEnd[i] > r.Start[rc.OutTask] {
+			t.Errorf("reconfiguration %d ends after its outgoing task starts", i)
+		}
+	}
+}
+
+func TestExecuteSimpleChain(t *testing.T) {
+	g := taskgraph.New("chain")
+	sw := taskgraph.Implementation{Name: "s", Kind: taskgraph.SW, Time: 100}
+	for i := 0; i < 3; i++ {
+		g.AddTask("t", sw)
+	}
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	s := mustPA(t, g)
+	r, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 300 {
+		t.Errorf("executed makespan = %d, want 300", r.Makespan)
+	}
+	checkDynamic(t, s, r)
+}
+
+func TestExecuteNeverWorseThanSchedule(t *testing.T) {
+	for _, n := range []int{10, 25, 40, 60} {
+		g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(n)})
+		s := mustPA(t, g)
+		r, err := Execute(s)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r.Makespan > s.Makespan {
+			t.Errorf("n=%d: executed makespan %d exceeds scheduled %d", n, r.Makespan, s.Makespan)
+		}
+		if r.Slack(s) < 0 {
+			t.Errorf("n=%d: negative slack", n)
+		}
+		checkDynamic(t, s, r)
+	}
+}
+
+// TestExecuteAgreesWithASAP is the differential oracle: the event-driven
+// simulator and the analytic longest-path execution must produce identical
+// timelines on schedules from every scheduler, with and without
+// communication costs.
+func TestExecuteAgreesWithASAP(t *testing.T) {
+	a := arch.ZedBoard()
+	for _, n := range []int{10, 20, 35, 50} {
+		for _, comm := range []int64{0, 400} {
+			g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(900 + n), CommMax: comm})
+			schedules := make([]*schedule.Schedule, 0, 3)
+			pa, _, err := sched.Schedule(g, a, sched.Options{SkipFloorplan: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedules = append(schedules, pa)
+			i1, _, err := isk.Schedule(g, a, isk.Options{K: 1, SkipFloorplan: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedules = append(schedules, i1)
+			i5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true, SkipFloorplan: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedules = append(schedules, i5)
+
+			for _, s := range schedules {
+				ev, err := Execute(s)
+				if err != nil {
+					t.Fatalf("n=%d comm=%d %s: Execute: %v", n, comm, s.Algorithm, err)
+				}
+				an, err := ASAP(s)
+				if err != nil {
+					t.Fatalf("n=%d comm=%d %s: ASAP: %v", n, comm, s.Algorithm, err)
+				}
+				if ev.Makespan != an.Makespan {
+					t.Fatalf("n=%d comm=%d %s: Execute makespan %d != ASAP %d",
+						n, comm, s.Algorithm, ev.Makespan, an.Makespan)
+				}
+				for task := range ev.Start {
+					if ev.Start[task] != an.Start[task] {
+						t.Fatalf("n=%d comm=%d %s: task %d start %d != %d",
+							n, comm, s.Algorithm, task, ev.Start[task], an.Start[task])
+					}
+				}
+				for i := range ev.ReconfStart {
+					if ev.ReconfStart[i] != an.ReconfStart[i] {
+						t.Fatalf("n=%d comm=%d %s: reconf %d start %d != %d",
+							n, comm, s.Algorithm, i, ev.ReconfStart[i], an.ReconfStart[i])
+					}
+				}
+				checkDynamic(t, s, ev)
+			}
+		}
+	}
+}
+
+func TestExecuteHWWithReconfs(t *testing.T) {
+	// One region time-shared by two tasks: the executed timeline must put
+	// the reconfiguration strictly between them.
+	small := &arch.Architecture{
+		Name: "small", Processors: 1, RecFreq: 3200, Bits: resources.DefaultBits,
+		MaxRes: resources.Vec(700, 5, 5),
+	}
+	g := taskgraph.New("hw")
+	g.AddTask("a",
+		taskgraph.Implementation{Name: "a_sw", Kind: taskgraph.SW, Time: 50000},
+		taskgraph.Implementation{Name: "a_hw", Kind: taskgraph.HW, Time: 100, Res: resources.Vec(600, 0, 0)})
+	g.AddTask("m", taskgraph.Implementation{Name: "m_sw", Kind: taskgraph.SW, Time: 2000})
+	g.AddTask("b",
+		taskgraph.Implementation{Name: "b_sw", Kind: taskgraph.SW, Time: 50000},
+		taskgraph.Implementation{Name: "b_hw", Kind: taskgraph.HW, Time: 100, Res: resources.Vec(600, 0, 0)})
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	s, _, err := sched.Schedule(g, small, sched.Options{SkipFloorplan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reconfs) != 1 {
+		t.Fatalf("expected one reconfiguration, got %d", len(s.Reconfs))
+	}
+	r, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDynamic(t, s, r)
+	if r.Makespan != s.Makespan {
+		t.Errorf("executed %d != scheduled %d on a tight schedule", r.Makespan, s.Makespan)
+	}
+}
+
+func TestExecuteDetectsCyclicOrders(t *testing.T) {
+	// A hand-built schedule whose region order contradicts the dependency
+	// edges deadlocks the simulator and must be reported, not hang.
+	a := &arch.Architecture{
+		Name: "tiny", Processors: 1, RecFreq: 3200, Bits: resources.DefaultBits,
+		MaxRes: resources.Vec(1000, 0, 0),
+	}
+	g := taskgraph.New("cyc")
+	hw := taskgraph.Implementation{Name: "h", Kind: taskgraph.HW, Time: 100, Res: resources.Vec(100, 0, 0)}
+	sw := taskgraph.Implementation{Name: "s", Kind: taskgraph.SW, Time: 100}
+	g.AddTask("a", sw, hw)
+	g.AddTask("b", sw, hw)
+	g.MustEdge(0, 1)
+	s := schedule.New(g, a)
+	r0 := s.AddRegion(resources.Vec(100, 0, 0))
+	// b scheduled BEFORE a in the region although a → b: cyclic orders.
+	s.Tasks[0] = schedule.Assignment{Impl: 1, Target: schedule.Target{Kind: schedule.OnRegion, Index: r0}, Start: 200, End: 300}
+	s.Tasks[1] = schedule.Assignment{Impl: 1, Target: schedule.Target{Kind: schedule.OnRegion, Index: r0}, Start: 0, End: 100}
+	s.ComputeMakespan()
+	if _, err := Execute(s); err == nil {
+		t.Fatal("cyclic schedule executed without error")
+	}
+	if _, err := ASAP(s); err == nil {
+		t.Fatal("cyclic schedule analysed without error")
+	}
+}
+
+func TestSlackReporting(t *testing.T) {
+	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 5})
+	s := mustPA(t, g)
+	r, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Slack(s); got != s.Makespan-r.Makespan {
+		t.Errorf("Slack = %d", got)
+	}
+	if r.Events == 0 {
+		t.Error("no events processed")
+	}
+}

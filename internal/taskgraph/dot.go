@@ -1,0 +1,31 @@
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection. Each
+// node is labelled with the task name and its implementation menu.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", g.Name)
+	for _, t := range g.Tasks {
+		var impls []string
+		for _, im := range t.Impls {
+			if im.Kind == HW {
+				impls = append(impls, fmt.Sprintf("%s %s t=%d %v", im.Name, im.Kind, im.Time, im.Res))
+			} else {
+				impls = append(impls, fmt.Sprintf("%s %s t=%d", im.Name, im.Kind, im.Time))
+			}
+		}
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\n%s\"];\n", t.ID, t.Name, strings.Join(impls, "\\n"))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  t%d -> t%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,283 @@
+// Package taskgraph models the application of the scheduling problem: a
+// Directed Acyclic Graph G = (T, E) of tasks (§III of the paper), where each
+// task offers one or more software implementations and zero or more hardware
+// implementations with heterogeneous resource requirements.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"resched/internal/resources"
+)
+
+// ImplKind distinguishes hardware from software implementations.
+type ImplKind int
+
+const (
+	// HW marks an implementation mapped to a reconfigurable region.
+	HW ImplKind = iota
+	// SW marks an implementation executed on a processor core.
+	SW
+)
+
+// String returns "HW" or "SW".
+func (k ImplKind) String() string {
+	switch k {
+	case HW:
+		return "HW"
+	case SW:
+		return "SW"
+	default:
+		return fmt.Sprintf("ImplKind(%d)", int(k))
+	}
+}
+
+// Implementation is one way of executing a task (an element of I_t).
+type Implementation struct {
+	// Name identifies the implementation. Distinct tasks may share an
+	// implementation name: two HW tasks with the same Name produce the
+	// same partial bitstream, enabling module reuse (§VII-A).
+	Name string
+	// Kind is HW or SW.
+	Kind ImplKind
+	// Time is the execution time time_i in ticks. Data transfer time is
+	// folded into Time per §III.
+	Time int64
+	// Res is res_{i,r}: the region resource requirement of a HW
+	// implementation. It must be zero for SW implementations.
+	Res resources.Vector
+}
+
+// Task is a node t ∈ T of the application DAG.
+type Task struct {
+	// ID is the task's index within its Graph (assigned by AddTask).
+	ID int
+	// Name is a human-readable label.
+	Name string
+	// Impls lists the available implementations I_t.
+	Impls []Implementation
+}
+
+// HWImpls returns the indices into Impls of the hardware implementations.
+func (t *Task) HWImpls() []int { return t.implsOf(HW) }
+
+// SWImpls returns the indices into Impls of the software implementations.
+func (t *Task) SWImpls() []int { return t.implsOf(SW) }
+
+func (t *Task) implsOf(k ImplKind) []int {
+	var out []int
+	for i, im := range t.Impls {
+		if im.Kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FastestSW returns the index of the software implementation with the lowest
+// execution time, or -1 when the task has none.
+func (t *Task) FastestSW() int {
+	best := -1
+	for i, im := range t.Impls {
+		if im.Kind != SW {
+			continue
+		}
+		if best < 0 || im.Time < t.Impls[best].Time {
+			best = i
+		}
+	}
+	return best
+}
+
+// MinTime returns min_{i ∈ I_t} time_i, used by maxT in eq. (3).
+func (t *Task) MinTime() int64 {
+	if len(t.Impls) == 0 {
+		return 0
+	}
+	m := t.Impls[0].Time
+	for _, im := range t.Impls[1:] {
+		if im.Time < m {
+			m = im.Time
+		}
+	}
+	return m
+}
+
+// Graph is the application task graph.
+type Graph struct {
+	// Name labels the application.
+	Name string
+	// Tasks holds the nodes; Tasks[i].ID == i.
+	Tasks []*Task
+
+	succ  [][]int
+	pred  [][]int
+	edges map[[2]int]int64 // dependency → communication time in ticks
+}
+
+// New creates an empty task graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, edges: make(map[[2]int]int64)}
+}
+
+// AddTask appends a task and returns it. The implementations are copied.
+func (g *Graph) AddTask(name string, impls ...Implementation) *Task {
+	t := &Task{ID: len(g.Tasks), Name: name, Impls: append([]Implementation(nil), impls...)}
+	g.Tasks = append(g.Tasks, t)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return t
+}
+
+// AddEdge inserts the dependency (from, to) ∈ E with no communication
+// cost. Duplicate edges are ignored; self-loops and out-of-range IDs are
+// rejected.
+func (g *Graph) AddEdge(from, to int) error { return g.AddEdgeComm(from, to, 0) }
+
+// AddEdgeComm inserts the dependency (from, to) ∈ E annotated with a
+// communication time in ticks that must elapse between the producer's end
+// and the consumer's start (the paper's §VIII future-work extension: §III
+// folds transfer time into execution times, which this models explicitly).
+// Adding an existing edge keeps the larger communication time.
+func (g *Graph) AddEdgeComm(from, to int, comm int64) error {
+	if from < 0 || from >= len(g.Tasks) || to < 0 || to >= len(g.Tasks) {
+		return fmt.Errorf("taskgraph %q: edge (%d,%d) out of range [0,%d)", g.Name, from, to, len(g.Tasks))
+	}
+	if from == to {
+		return fmt.Errorf("taskgraph %q: self-loop on task %d", g.Name, from)
+	}
+	if comm < 0 {
+		return fmt.Errorf("taskgraph %q: edge (%d,%d) has negative communication time %d", g.Name, from, to, comm)
+	}
+	key := [2]int{from, to}
+	if old, ok := g.edges[key]; ok {
+		if comm > old {
+			g.edges[key] = comm
+		}
+		return nil
+	}
+	g.edges[key] = comm
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// EdgeComm returns the communication time of edge (from, to), or 0 when
+// the edge does not exist.
+func (g *Graph) EdgeComm(from, to int) int64 { return g.edges[[2]int{from, to}] }
+
+// MustEdge is AddEdge that panics on error; intended for literal graph
+// construction in examples and tests.
+func (g *Graph) MustEdge(from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// N returns |T|.
+func (g *Graph) N() int { return len(g.Tasks) }
+
+// Succ returns the successor task IDs of t. The slice must not be modified.
+func (g *Graph) Succ(t int) []int { return g.succ[t] }
+
+// Pred returns the predecessor task IDs of t. The slice must not be modified.
+func (g *Graph) Pred(t int) []int { return g.pred[t] }
+
+// HasEdge reports whether (from, to) ∈ E.
+func (g *Graph) HasEdge(from, to int) bool {
+	_, ok := g.edges[[2]int{from, to}]
+	return ok
+}
+
+// Edges returns all edges sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Validate checks the structural assumptions of §III: the graph is acyclic,
+// every task has at least one implementation with positive execution time,
+// SW implementations carry no resource requirements, and (per the paper's
+// stated assumption) every task has at least one software implementation.
+func (g *Graph) Validate() error {
+	for _, t := range g.Tasks {
+		if len(t.Impls) == 0 {
+			return fmt.Errorf("taskgraph %q: task %d (%s) has no implementations", g.Name, t.ID, t.Name)
+		}
+		hasSW := false
+		for i, im := range t.Impls {
+			if im.Time <= 0 {
+				return fmt.Errorf("taskgraph %q: task %d impl %d (%s) has non-positive time %d", g.Name, t.ID, i, im.Name, im.Time)
+			}
+			switch im.Kind {
+			case SW:
+				hasSW = true
+				if !im.Res.Zero() {
+					return fmt.Errorf("taskgraph %q: task %d SW impl %d (%s) has resource requirements %v", g.Name, t.ID, i, im.Name, im.Res)
+				}
+			case HW:
+				if im.Res.Zero() {
+					return fmt.Errorf("taskgraph %q: task %d HW impl %d (%s) has no resource requirements", g.Name, t.ID, i, im.Name)
+				}
+				if !im.Res.NonNegative() {
+					return fmt.Errorf("taskgraph %q: task %d HW impl %d (%s) has negative requirements %v", g.Name, t.ID, i, im.Name, im.Res)
+				}
+			default:
+				return fmt.Errorf("taskgraph %q: task %d impl %d (%s) has invalid kind %d", g.Name, t.ID, i, im.Name, im.Kind)
+			}
+		}
+		if !hasSW {
+			return fmt.Errorf("taskgraph %q: task %d (%s) has no software implementation", g.Name, t.ID, t.Name)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, t := range g.Tasks {
+		c.AddTask(t.Name, t.Impls...)
+	}
+	for e, comm := range g.edges {
+		if err := c.AddEdgeComm(e[0], e[1], comm); err != nil {
+			panic(err) // cannot happen: copying a valid structure
+		}
+	}
+	return c
+}
+
+// Sources returns the IDs of tasks without predecessors.
+func (g *Graph) Sources() []int {
+	var out []int
+	for i := range g.Tasks {
+		if len(g.pred[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sinks returns the IDs of tasks without successors.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for i := range g.Tasks {
+		if len(g.succ[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

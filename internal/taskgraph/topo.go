@@ -1,0 +1,128 @@
+package taskgraph
+
+import "fmt"
+
+// TopoOrder returns a topological ordering of the task IDs (Kahn's
+// algorithm, smallest-ID-first for determinism) or an error naming a task on
+// a cycle when the graph is not acyclic.
+func (g *Graph) TopoOrder() ([]int, error) {
+	order, err := TopoOrderAdj(len(g.Tasks), g.succ, g.pred)
+	if err != nil {
+		return nil, fmt.Errorf("taskgraph %q: %w", g.Name, err)
+	}
+	return order, nil
+}
+
+// TopoOrderAdj computes a deterministic topological order for an arbitrary
+// adjacency-list DAG with n nodes. Schedulers use it on augmented graphs
+// (application edges plus sequencing edges). pred may be nil, in which case
+// it is derived from succ.
+func TopoOrderAdj(n int, succ, pred [][]int) ([]int, error) {
+	indeg := make([]int, n)
+	if pred != nil {
+		for v := range indeg {
+			indeg[v] = len(pred[v])
+		}
+	} else {
+		for _, ss := range succ {
+			for _, v := range ss {
+				indeg[v]++
+			}
+		}
+	}
+	// Min-heap on node ID for deterministic orders.
+	heap := make([]int, 0, n)
+	push := func(v int) {
+		heap = append(heap, v)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int {
+		v := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && heap[l] < heap[small] {
+				small = l
+			}
+			if r < last && heap[r] < heap[small] {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return v
+	}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			push(v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(heap) > 0 {
+		v := pop()
+		order = append(order, v)
+		for _, w := range succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		for v, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("cycle detected through task %d", v)
+			}
+		}
+		return nil, fmt.Errorf("cycle detected")
+	}
+	return order, nil
+}
+
+// Reachable returns the set of tasks reachable from start following
+// successor edges (start itself excluded).
+func (g *Graph) Reachable(start int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := append([]int(nil), g.succ[start]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		stack = append(stack, g.succ[v]...)
+	}
+	return seen
+}
+
+// Depth returns, for every task, the length (in edges) of the longest path
+// from any source to the task. Sources have depth 0.
+func (g *Graph) Depth() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.N())
+	for _, v := range order {
+		for _, p := range g.pred[v] {
+			if depth[p]+1 > depth[v] {
+				depth[v] = depth[p] + 1
+			}
+		}
+	}
+	return depth, nil
+}
