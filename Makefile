@@ -1,0 +1,35 @@
+# Pre-PR verification gate. `make verify` must pass before any change is
+# merged: formatting, go vet, build, the full test suite under the race
+# detector, and the repository's own static-analysis suite (reschedvet),
+# which enforces the scheduler determinism invariants documented in README.md.
+
+GO ?= go
+
+.PHONY: verify fmt-check vet build test race reschedvet bench
+
+verify: fmt-check vet build race reschedvet
+	@echo "verify: all gates passed"
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+reschedvet:
+	$(GO) run ./cmd/reschedvet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -72,7 +72,9 @@ func main() {
 		if err := floorplan.WriteSVG(sf, a.Fabric, regions, res.Placements); err != nil {
 			fatal(err)
 		}
-		sf.Close()
+		if err := sf.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("wrote %s\n", *svgPath)
 	}
 }

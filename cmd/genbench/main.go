@@ -45,7 +45,9 @@ func main() {
 		if err := e.Graph.Write(f); err != nil {
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("wrote %d task graphs to %s\n", len(suite), *outDir)
 }

@@ -48,7 +48,9 @@ func main() {
 		fatal(err)
 	}
 	g, err := taskgraph.Read(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -60,7 +62,9 @@ func main() {
 		if err := g.WriteDOT(df); err != nil {
 			fatal(err)
 		}
-		df.Close()
+		if err := df.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	a := arch.ZedBoard()
@@ -129,7 +133,9 @@ func main() {
 		if err := sch.WriteJSON(of); err != nil {
 			fatal(err)
 		}
-		of.Close()
+		if err := of.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *svgPath != "" {
 		sf, err := os.Create(*svgPath)
@@ -139,7 +145,9 @@ func main() {
 		if err := sch.WriteSVG(sf); err != nil {
 			fatal(err)
 		}
-		sf.Close()
+		if err := sf.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *simulate {
 		res, err := sim.Execute(sch)

@@ -1,0 +1,132 @@
+// Command reschedvet runs the repository's custom static-analysis suite
+// (internal/analyze) over the module: five analyzers that machine-check the
+// determinism and correctness invariants the schedulers depend on —
+// maporder, globalrand, floateq, sortstable and errdrop.
+//
+// Usage:
+//
+//	reschedvet [-analyzers maporder,floateq] [-list] [packages]
+//
+// The package arguments accept ./... (the whole module, the default) or
+// directory paths to restrict the report. Findings are printed one per line
+// as "file:line: analyzer: message"; the exit status is 1 when violations
+// are found, 2 on usage or load errors. A finding is suppressed by a
+// line comment `//reschedvet:ignore <analyzer>` on the flagged line or the
+// line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"resched/internal/analyze"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the analyzers and exit")
+		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyze.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analyze.All()
+	if *names != "" {
+		var err error
+		analyzers, err = analyze.ByName(*names)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analyze.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	if pkgs, err = restrict(pkgs, root, flag.Args()); err != nil {
+		fatal(err)
+	}
+
+	findings := analyze.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "reschedvet: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// restrict filters the loaded packages down to the requested patterns:
+// "./..." (or no arguments) keeps everything, "./dir/..." keeps a subtree,
+// and a plain path keeps one package directory.
+func restrict(pkgs []*analyze.Package, root string, args []string) ([]*analyze.Package, error) {
+	if len(args) == 0 {
+		return pkgs, nil
+	}
+	var out []*analyze.Package
+	seen := map[string]bool{}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return pkgs, nil
+		}
+		rec := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			arg, rec = rest, true
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, p := range pkgs {
+			if p.Dir == abs || rec && strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+				if !seen[p.Dir] {
+					seen[p.Dir] = true
+					out = append(out, p)
+				}
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %q under %s", arg, root)
+		}
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reschedvet:", err)
+	os.Exit(2)
+}

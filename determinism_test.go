@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+)
+
+// TestSchedulerDeterminism is the behavioural counterpart of the reschedvet
+// static checks: PA is a deterministic heuristic and PA-R is seeded, so two
+// runs on the same 50-task graph must produce deeply equal schedules —
+// task assignments, region definitions and reconfiguration slots included.
+// The IS-k comparisons and the convergence experiments of EXPERIMENTS.md
+// are meaningless without this property.
+func TestSchedulerDeterminism(t *testing.T) {
+	g := benchgen.Generate(benchgen.Config{Tasks: 50, Seed: 424242})
+	a := arch.ZedBoard()
+
+	runPA := func() *schedule.Schedule {
+		t.Helper()
+		s, _, err := sched.Schedule(g, a, sched.Options{})
+		if err != nil {
+			t.Fatalf("PA: %v", err)
+		}
+		return s
+	}
+	// An iteration cap (not a wall-clock budget) keeps the PA-R workload
+	// itself identical across the two runs.
+	runPAR := func() *schedule.Schedule {
+		t.Helper()
+		s, _, err := sched.RSchedule(g, a, sched.RandomOptions{MaxIterations: 40, Seed: 7})
+		if err != nil {
+			t.Fatalf("PA-R: %v", err)
+		}
+		return s
+	}
+
+	assertEqual := func(name string, s1, s2 *schedule.Schedule) {
+		t.Helper()
+		if errs := schedule.Check(s1); len(errs) > 0 {
+			t.Fatalf("%s produced an invalid schedule: %v", name, errs[0])
+		}
+		if !reflect.DeepEqual(s1.Regions, s2.Regions) {
+			t.Errorf("%s: region definitions differ between runs:\n  run1: %v\n  run2: %v", name, s1.Regions, s2.Regions)
+		}
+		if !reflect.DeepEqual(s1.Tasks, s2.Tasks) {
+			t.Errorf("%s: task assignments differ between runs", name)
+		}
+		if !reflect.DeepEqual(s1.Reconfs, s2.Reconfs) {
+			t.Errorf("%s: reconfiguration slots differ between runs:\n  run1: %v\n  run2: %v", name, s1.Reconfs, s2.Reconfs)
+		}
+		if s1.Makespan != s2.Makespan {
+			t.Errorf("%s: makespan %d vs %d", name, s1.Makespan, s2.Makespan)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: schedules differ between runs (beyond the fields compared above)", name)
+		}
+	}
+
+	assertEqual("PA", runPA(), runPA())
+	assertEqual("PA-R", runPAR(), runPAR())
+}

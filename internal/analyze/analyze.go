@@ -1,0 +1,252 @@
+// Package analyze is a self-contained static-analysis framework (standard
+// library only: go/ast, go/parser, go/token, go/types) that enforces the
+// determinism and correctness invariants this repository depends on.
+//
+// PA is a deterministic heuristic and PA-R's experimental value rests on
+// reproducible seeded randomization (§V–§VI of the paper): two runs on the
+// same graph and seed must produce byte-identical schedules, or the IS-k
+// comparisons and the convergence experiments are meaningless. Go makes
+// those guarantees easy to break silently — randomized map iteration order,
+// the package-global math/rand source, exact float64 comparison and
+// unstable sorts on non-unique keys are all one careless edit away. The
+// analyzers in this package turn the invariants into machine-checked rules;
+// cmd/reschedvet runs them over the module and TestReschedvetClean keeps
+// `go test ./...` red while any violation exists.
+//
+// A finding can be suppressed by a line comment
+//
+//	//reschedvet:ignore <analyzer>[,<analyzer>...] [reason]
+//
+// placed either on the flagged line or alone on the line directly above it.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: analyzer: message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass gives an analyzer access to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		GlobalRand,
+		FloatEq,
+		SortStable,
+		ErrDrop,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("maporder,floateq").
+func ByName(names string) ([]*Analyzer, error) {
+	all := All()
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, drops suppressed findings,
+// and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	var kept []Finding
+	ign := ignoreIndex(pkgs)
+	for _, f := range findings {
+		if ign.suppressed(f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}
+
+// ignoreDirective is the parsed form of one //reschedvet:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil means "all analyzers"
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	return d.analyzers == nil || d.analyzers[analyzer]
+}
+
+// ignores maps file → line → directive for every loaded package.
+type ignores map[string]map[int]ignoreDirective
+
+const ignorePrefix = "//reschedvet:ignore"
+
+// parseIgnore extracts the directive from a comment text, or ok=false.
+func parseIgnore(text string) (ignoreDirective, bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return ignoreDirective{}, false
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return ignoreDirective{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		// Bare directive: suppress every analyzer on the line.
+		return ignoreDirective{}, true
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return ignoreDirective{analyzers: names}, true
+}
+
+func ignoreIndex(pkgs []*Package) ignores {
+	idx := ignores{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					m := idx[pos.Filename]
+					if m == nil {
+						m = map[int]ignoreDirective{}
+						idx[pos.Filename] = m
+					}
+					m[pos.Line] = d
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a directive on the finding's line or on the
+// line directly above covers the finding's analyzer.
+func (idx ignores) suppressed(f Finding) bool {
+	m := idx[f.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if d, ok := m[line]; ok && d.matches(f.Analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves an identifier to the import path of the package it
+// names, or "" when the identifier is not a package name. Analyzers use it
+// to recognise qualified calls like sort.Slice or rand.Intn without being
+// fooled by local variables shadowing the package name.
+func pkgNameOf(info *types.Info, id *ast.Ident) string {
+	if obj, ok := info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// qualifiedCall matches call expressions of the form pkg.Fn(...) where pkg
+// is an import of importPath, returning ok and the function name.
+func qualifiedCall(info *types.Info, call *ast.CallExpr, importPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pkgNameOf(info, id) != importPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

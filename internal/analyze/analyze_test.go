@@ -1,0 +1,140 @@
+package analyze_test
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"resched/internal/analyze"
+)
+
+// wantRe matches the fixture expectation syntax: a `// want "substr"`
+// comment expects at least one finding on its line whose message contains
+// the quoted substring.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type expectation struct {
+	substr  string
+	matched bool
+}
+
+// TestAnalyzerFixtures runs every analyzer over its seeded fixture package
+// under testdata/ and verifies the findings line up exactly with the `want`
+// annotations: each annotated line is caught, each clean (fixed or
+// suppressed) form is accepted.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range analyze.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			pkg, err := analyze.LoadDir(dir, "fixture/"+a.Name)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			findings := analyze.Run([]*analyze.Package{pkg}, []*analyze.Analyzer{a})
+
+			wants := map[string]*expectation{}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				path := filepath.Join(dir, e.Name())
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, line := range strings.Split(string(data), "\n") {
+					if m := wantRe.FindStringSubmatch(line); m != nil {
+						wants[fmt.Sprintf("%s:%d", path, i+1)] = &expectation{substr: m[1]}
+					}
+				}
+			}
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want annotations; it proves nothing", dir)
+			}
+
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", relToHere(t, f.Pos), f.Pos.Line)
+				w, ok := wants[key]
+				if !ok {
+					t.Errorf("unexpected finding at %s: %s", key, f.Message)
+					continue
+				}
+				if !strings.Contains(f.Message, w.substr) {
+					t.Errorf("finding at %s: message %q does not contain %q", key, f.Message, w.substr)
+					continue
+				}
+				w.matched = true
+			}
+			for key, w := range wants {
+				if !w.matched {
+					t.Errorf("expected a finding matching %q at %s, got none", w.substr, key)
+				}
+			}
+		})
+	}
+}
+
+// relToHere converts a finding position (absolute path) back to the
+// test-relative path used as want-map key.
+func relToHere(t *testing.T, pos token.Position) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(wd, pos.Filename)
+	if err != nil {
+		return pos.Filename
+	}
+	return rel
+}
+
+func TestFindingString(t *testing.T) {
+	f := analyze.Finding{
+		Pos:      token.Position{Filename: "x/y.go", Line: 12, Column: 3},
+		Analyzer: "maporder",
+		Message:  "boom",
+	}
+	if got, want := f.String(), "x/y.go:12: maporder: boom"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := analyze.ByName("maporder, floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "maporder" || as[1].Name != "floateq" {
+		t.Errorf("ByName returned %v", as)
+	}
+	if _, err := analyze.ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) did not fail")
+	}
+}
+
+// TestSuiteComplete pins the analyzer roster: removing an analyzer from
+// All() would silently stop enforcing its invariant module-wide.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"maporder", "globalrand", "floateq", "sortstable", "errdrop"}
+	all := analyze.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags statements that call an I/O method returning an error and
+// silently discard it: Close on a written file loses the buffered-flush
+// error, Encode/Write lose short writes, and the experiment artefacts
+// (schedule JSON, SVG Gantt charts, benchmark suites) end up truncated with
+// a zero exit status. Assigning the result explicitly (`_ = f.Close()`)
+// documents intent and is not flagged; neither are strings.Builder and
+// bytes.Buffer, whose writers are documented to never fail.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "errors from close/write/encode calls must not be silently discarded",
+	Run:  runErrDrop,
+}
+
+// errDropMethods are the method names treated as I/O with meaningful
+// errors.
+var errDropMethods = map[string]bool{
+	"Close": true, "Flush": true, "Sync": true, "Encode": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !errDropMethods[sel.Sel.Name] {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok {
+				return true // qualified call, not a method
+			}
+			sig, ok := selection.Type().(*types.Signature)
+			if !ok || !lastResultIsError(sig) {
+				return true
+			}
+			if infallibleWriter(selection.Recv()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error returned by %s.%s is discarded; check it or assign it to _ explicitly",
+				recvName(selection.Recv()), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// infallibleWriter exempts receivers whose write methods are documented to
+// always return a nil error.
+func infallibleWriter(recv types.Type) bool {
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return pkg == "strings" && name == "Builder" || pkg == "bytes" && name == "Buffer"
+}
+
+// recvName renders the receiver type compactly for the finding message.
+func recvName(recv types.Type) string {
+	t := recv
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return recv.String()
+}

@@ -1,0 +1,48 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between two computed floating-point expressions.
+// Efficiency indices, implementation costs and LP values are accumulated in
+// float64; exact equality between two such computations depends on
+// evaluation order and compiler fusion, so a tie-break or threshold written
+// with == can flip between builds and break schedule reproducibility.
+// Comparisons where either operand is a compile-time constant (the
+// pervasive `x == 0` "option unset" test — exact by IEEE-754) are exempt.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no exact ==/!= between computed floating-point expressions",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isComputedFloat(pass.Info, bin.X) || !isComputedFloat(pass.Info, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"exact %s between computed float64 values; compare with an ordering (<, >) or an explicit tolerance", bin.Op)
+			return true
+		})
+	}
+}
+
+// isComputedFloat reports whether expr is a non-constant floating-point
+// expression.
+func isComputedFloat(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

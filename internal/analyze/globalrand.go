@@ -1,0 +1,48 @@
+package analyze
+
+import (
+	"go/ast"
+)
+
+// GlobalRand flags uses of the package-global math/rand source. All
+// randomness in the schedulers must flow through an explicitly seeded
+// *rand.Rand (sched.Options.Rand / RandomOptions.Seed): the global source
+// is process-wide state that other code can reseed or advance, which makes
+// PA-R runs irreproducible and the convergence experiments unrepeatable.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) are the
+// sanctioned entry points and are not flagged.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "randomness must flow through an injected *rand.Rand, not the global source",
+	Run:  runGlobalRand,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw from
+// the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := qualifiedCall(pass.Info, call, path); ok && globalRandFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the process-global source; use the injected *rand.Rand (sched.Options.Rand) instead", name)
+				}
+			}
+			return true
+		})
+	}
+}

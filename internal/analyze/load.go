@@ -1,0 +1,211 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the package import path ("resched/internal/sched").
+	Path string
+	// Dir is the package directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the non-test source files, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule parses and type-checks every non-test package under the module
+// rooted at dir (the directory containing go.mod). testdata, hidden and
+// vendor directories are skipped, as are test files: the invariants guard
+// shipped scheduler code, and tests legitimately use patterns (exact float
+// expectations, ad-hoc maps) the analyzers would flag.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	ld := &loader{fset: fset, root: root, modPath: modPath, cache: map[string]*types.Package{}}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := check(fset, path, files, ld)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path. Fixture tests use it to analyze testdata packages that the
+// module walk deliberately skips.
+func LoadDir(dir, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
+	}
+	ld := &loader{fset: fset, cache: map[string]*types.Package{}}
+	pkg, err := check(fset, path, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, sorted by name so analysis
+// order (and therefore finding order) is reproducible.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one package with full expression and object resolution.
+func check(fset *token.FileSet, path string, files []*ast.File, ld *loader) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analyze: no module line in %s/go.mod", root)
+}
+
+// loader resolves imports: module-local packages are type-checked from
+// source on first use, everything else (the standard library — go.mod has
+// no external dependencies) is delegated to the stdlib source importer so
+// the analysis needs no pre-compiled export data.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	cache   map[string]*types.Package
+	std     types.Importer
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/"))
+		files, err := parseDir(l.fset, dir)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: importing %s: %w", path, err)
+		}
+		conf := types.Config{Importer: l}
+		pkg, err := conf.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: importing %s: %w", path, err)
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}

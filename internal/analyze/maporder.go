@@ -1,0 +1,174 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` loops over maps whose body leaks the random
+// iteration order into something ordered: appending to a slice that is
+// never subsequently sorted in the same function, or writing formatted
+// output. Map iteration order differs between runs (and deliberately so in
+// the Go runtime), which silently breaks the byte-identical-schedule
+// guarantee PA and seeded PA-R rely on. Ranging to aggregate (sums, maxima,
+// membership tests) is order-insensitive and not flagged; appending keys
+// and sorting the slice afterwards is the sanctioned pattern.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not leak into slices or output",
+	Run:  runMapOrder,
+}
+
+// isSortCall recognises the sorting entry points that launder an append
+// target — calls whose first argument is the slice being ordered.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if name, ok := qualifiedCall(info, call, "sort"); ok {
+		switch name {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	}
+	if name, ok := qualifiedCall(info, call, "slices"); ok {
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapOrderFunc(pass, fn.Body)
+		}
+	}
+}
+
+func checkMapOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	// Collect every sort call in the function with its position and target,
+	// so "append then sort" is recognised wherever the sort sits.
+	type sortOf struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var sorts []sortOf
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isSortCall(pass.Info, call) {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				sorts = append(sorts, sortOf{obj, call.Pos()})
+			}
+		}
+		return true
+	})
+	sortedAfter := func(obj types.Object, after token.Pos) bool {
+		for _, s := range sorts {
+			if s.obj == obj && s.pos > after {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rng, sortedAfter)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sortedAfter func(types.Object, token.Pos) bool) {
+	reported := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					obj = pass.Info.Defs[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if sortedAfter(obj, rng.Pos()) {
+					continue
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map appends to %q in nondeterministic order; sort the map keys first or sort %q afterwards", id.Name, id.Name)
+				reported = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isOrderedOutput(pass.Info, n) {
+				pass.Reportf(rng.Pos(),
+					"range over map writes output in nondeterministic order; iterate over sorted keys instead")
+				reported = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOrderedOutput recognises calls that emit ordered bytes: fmt printing
+// and Write*/Encode methods (file writers, buffers, encoders alike — a
+// buffer filled in map order is just deferred nondeterministic output).
+func isOrderedOutput(info *types.Info, call *ast.CallExpr) bool {
+	if name, ok := qualifiedCall(info, call, "fmt"); ok {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Only method calls count; pkg.WriteX functions are caught above when
+	// they matter (fmt), and qualified identifiers are not receivers.
+	if _, isMethod := info.Selections[sel]; !isMethod {
+		return false
+	}
+	name := sel.Sel.Name
+	return name == "Encode" || len(name) >= 5 && name[:5] == "Write"
+}

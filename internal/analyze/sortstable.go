@@ -1,0 +1,117 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SortStable flags sort.Slice calls whose less function compares a single
+// key that need not be unique (a struct field, a derived value). sort.Slice
+// is an unstable pdqsort: elements with equal keys come out in an order
+// that depends on the input permutation and on internal randomization
+// across Go releases, so a schedule assembled from such a sort is not
+// reproducible. The fix is sort.SliceStable or an explicit tie-break chain
+// ending in a unique key, as (*state).hwOrder in internal/sched does.
+//
+// Comparing the elements themselves (`xs[i] < xs[j]` on a basic element
+// type) is exempt: equal elements are indistinguishable, so instability
+// cannot be observed.
+var SortStable = &Analyzer{
+	Name: "sortstable",
+	Doc:  "sort.Slice needs a unique key, a tie-break, or sort.SliceStable",
+	Run:  runSortStable,
+}
+
+func runSortStable(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			if name, ok := qualifiedCall(pass.Info, call, "sort"); !ok || name != "Slice" {
+				return true
+			}
+			less, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			// A tie-break needs more than one statement (or a chained
+			// condition); a single `return a.X < b.X` cannot have one.
+			if len(less.Body.List) != 1 {
+				return true
+			}
+			ret, ok := less.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			bin, ok := ret.Results[0].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.LSS && bin.Op != token.GTR) {
+				return true
+			}
+			if comparesWholeElement(pass.Info, call.Args[0], less, bin) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"sort.Slice with a single-key less func: equal keys keep an unpredictable order; use sort.SliceStable or add a tie-break on a unique key")
+			return true
+		})
+	}
+}
+
+// comparesWholeElement recognises `xs[i] < xs[j]` where xs is the sorted
+// slice, i and j are the less-func parameters, and the element type is a
+// basic ordered type — the one single-comparison form that is deterministic
+// regardless of sort stability.
+func comparesWholeElement(info *types.Info, slice ast.Expr, less *ast.FuncLit, bin *ast.BinaryExpr) bool {
+	sliceID, ok := slice.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	sliceObj := info.Uses[sliceID]
+	if sliceObj == nil {
+		return false
+	}
+	params := less.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	var paramObjs []types.Object
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			paramObjs = append(paramObjs, info.Defs[name])
+		}
+	}
+	if len(paramObjs) != 2 {
+		return false
+	}
+	side := func(e ast.Expr) (types.Object, bool) {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return nil, false
+		}
+		base, ok := ix.X.(*ast.Ident)
+		if !ok || info.Uses[base] != sliceObj {
+			return nil, false
+		}
+		id, ok := ix.Index.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		return info.Uses[id], true
+	}
+	l, ok := side(bin.X)
+	if !ok {
+		return false
+	}
+	r, ok := side(bin.Y)
+	if !ok || l == r {
+		return false
+	}
+	if !(l == paramObjs[0] && r == paramObjs[1] || l == paramObjs[1] && r == paramObjs[0]) {
+		return false
+	}
+	basic, ok := info.Types[bin.X].Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsOrdered != 0
+}

@@ -1,0 +1,52 @@
+// Package fixture seeds errdrop violations and their sanctioned fixes.
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+func badClose(f *os.File) {
+	f.Close() // want "discarded"
+}
+
+func badEncode(enc *json.Encoder, v any) {
+	enc.Encode(v) // want "discarded"
+}
+
+func badWriteString(f *os.File) {
+	f.WriteString("partial") // want "discarded"
+}
+
+func badSync(f *os.File) {
+	f.Sync() // want "discarded"
+}
+
+func goodChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func goodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func goodBuilder(b *strings.Builder) {
+	b.WriteString("builders never fail")
+}
+
+func goodBuffer(buf *bytes.Buffer) {
+	buf.WriteByte('x')
+}
+
+func goodNoError(m map[int]bool) {
+	delete(m, 1)
+}
+
+func suppressedBestEffort(f *os.File) {
+	f.Close() //reschedvet:ignore errdrop best-effort cleanup on the error path
+}

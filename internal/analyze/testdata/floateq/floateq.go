@@ -1,0 +1,50 @@
+// Package fixture seeds floateq violations and their sanctioned fixes.
+package fixture
+
+type myFloat float64
+
+func badEq(a, b float64) bool {
+	return a*2 == b+1 // want "exact =="
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want "exact !="
+}
+
+func badNamed(a, b myFloat) bool {
+	return a == b // want "exact =="
+}
+
+func goodConstZero(a float64) bool {
+	return a == 0
+}
+
+func goodConstNeq(a float64) bool {
+	return a != 1.5
+}
+
+func goodOrdering(a, b float64) bool {
+	if a > b {
+		return true
+	}
+	if b > a {
+		return false
+	}
+	return true
+}
+
+func goodTolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+func goodInts(a, b int) bool {
+	return a == b
+}
+
+func suppressedBitExact(a, b float64) bool {
+	return a == b //reschedvet:ignore floateq bit-exactness intended
+}

@@ -1,0 +1,37 @@
+// Package fixture seeds globalrand violations and their sanctioned fixes.
+package fixture
+
+import "math/rand"
+
+func badIntn() int {
+	return rand.Intn(10) // want "process-global source"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "process-global source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global source"
+}
+
+func badPerm() []int {
+	return rand.Perm(5) // want "process-global source"
+}
+
+func goodInjected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func goodConstructor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodShadow() int {
+	rand := struct{ Intn func(int) int }{Intn: func(n int) int { return n }}
+	return rand.Intn(7)
+}
+
+func suppressedDemo() int {
+	return rand.Intn(3) //reschedvet:ignore globalrand demonstration only
+}

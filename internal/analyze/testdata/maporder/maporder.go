@@ -1,0 +1,72 @@
+// Package fixture seeds maporder violations and their sanctioned fixes.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want "appends to"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badOutput(m map[string]int) {
+	for k, v := range m { // want "writes output"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badBufferedOutput(m map[string]int, sink interface{ WriteString(string) (int, error) }) {
+	for k := range m { // want "writes output"
+		if _, err := sink.WriteString(k); err != nil {
+			return
+		}
+	}
+}
+
+func goodSortedAfter(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodAggregate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodSliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func suppressed(m map[int]string) []int {
+	var keys []int
+	//reschedvet:ignore maporder keys feed an order-insensitive set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

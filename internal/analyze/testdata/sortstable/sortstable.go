@@ -1,0 +1,43 @@
+// Package fixture seeds sortstable violations and their sanctioned fixes.
+package fixture
+
+import "sort"
+
+type item struct {
+	Key  int
+	Name string
+}
+
+func badField(xs []item) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Key < xs[j].Key }) // want "single-key"
+}
+
+func badDerived(xs []string) {
+	sort.Slice(xs, func(i, j int) bool { return len(xs[i]) > len(xs[j]) }) // want "single-key"
+}
+
+func goodTieBreak(xs []item) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Key != xs[j].Key {
+			return xs[i].Key < xs[j].Key
+		}
+		return xs[i].Name < xs[j].Name
+	})
+}
+
+func goodStable(xs []item) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].Key < xs[j].Key })
+}
+
+func goodWholeElement(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func goodWholeElementString(xs []string) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] > xs[j] })
+}
+
+func suppressedUniqueKey(xs []item) {
+	// Key is unique by construction here, so instability is unobservable.
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Key < xs[j].Key }) //reschedvet:ignore sortstable keys are unique IDs
+}

@@ -53,8 +53,13 @@ func (s *state) selectImplementations() {
 		bestHW, bestHWCost := -1, 0.0
 		for _, i := range task.HWImpls() {
 			c := s.implCost(task.Impls[i], mt)
-			if bestHW < 0 || c < bestHWCost ||
-				(c == bestHWCost && task.Impls[i].Time < task.Impls[bestHW].Time) {
+			switch {
+			case bestHW < 0 || c < bestHWCost:
+				bestHW, bestHWCost = i, c
+			case bestHWCost < c:
+				// strictly worse
+			case task.Impls[i].Time < task.Impls[bestHW].Time:
+				// cost tie: prefer the faster implementation
 				bestHW, bestHWCost = i, c
 			}
 		}

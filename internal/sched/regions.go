@@ -26,8 +26,11 @@ func (s *state) hwOrder(isCritical []bool, rng *rand.Rand) []int {
 		sort.SliceStable(ts, func(a, b int) bool {
 			ea := s.efficiency(s.selectedImpl(ts[a]))
 			eb := s.efficiency(s.selectedImpl(ts[b]))
-			if ea != eb {
-				return ea > eb
+			if ea > eb {
+				return true
+			}
+			if eb > ea {
+				return false
 			}
 			return ts[a] < ts[b]
 		})

@@ -186,6 +186,52 @@ func TestCheckReconfRules(t *testing.T) {
 	}
 }
 
+// TestCheckArbitratesCorruptedSchedule corrupts one schedule with three
+// independent violations at once — precedence (condition 5), region mutual
+// exclusion (condition 6) and reconfigurator capacity (condition 9) — and
+// asserts Check reports every one of them in a single pass. The checker
+// arbitrates between scheduler implementations, so it must enumerate all
+// violations rather than stop at the first.
+func TestCheckArbitratesCorruptedSchedule(t *testing.T) {
+	s := fixture(t)
+	// Second region with two HW tasks and a reconfiguration whose slot
+	// [25,35) overlaps region 0's reconfiguration [20,30) on the single
+	// reconfigurator (condition 9).
+	r1 := s.AddRegion(resources.Vec(10, 0, 0))
+	g := s.Graph
+	g.AddTask("t3", taskgraph.Implementation{Name: "sw", Kind: taskgraph.SW, Time: 50},
+		taskgraph.Implementation{Name: "hw3", Kind: taskgraph.HW, Time: 20, Res: resources.Vec(10, 0, 0)})
+	g.AddTask("t4", taskgraph.Implementation{Name: "sw", Kind: taskgraph.SW, Time: 50},
+		taskgraph.Implementation{Name: "hw4", Kind: taskgraph.HW, Time: 20, Res: resources.Vec(10, 0, 0)})
+	s.Tasks = append(s.Tasks,
+		Assignment{Impl: 1, Target: Target{OnRegion, r1}, Start: 0, End: 20},
+		Assignment{Impl: 1, Target: Target{OnRegion, r1}, Start: 40, End: 60})
+	s.Reconfs = append(s.Reconfs, Reconfiguration{Region: r1, InTask: 3, OutTask: 4, Start: 25, End: 35})
+	// Pull t1 forward so it starts before its predecessor t0 ends
+	// (condition 5) and its slot [10,30) overlaps t0's [0,20) in region 0
+	// (condition 6).
+	s.Tasks[1].Start, s.Tasks[1].End = 10, 30
+	s.ComputeMakespan()
+
+	errs := Check(s)
+	for _, want := range []string{
+		"edge 0→1 violated",                              // 5: end(t0)=20 > start(t1)=10
+		"region 0: tasks 0 [0,20) and 1 [10,30) overlap", // 6
+		"in flight", // 9: two reconfigurations on one controller
+	} {
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("corrupted schedule: no violation matching %q in %v", want, errs)
+		}
+	}
+}
+
 func TestReconfOverlapsRegionTask(t *testing.T) {
 	// A reconfiguration that overlaps an execution in its own region, with
 	// the consecutive-pair requirement still satisfied by a second entry.

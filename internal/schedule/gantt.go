@@ -64,7 +64,15 @@ func (s *Schedule) WriteGantt(w io.Writer, width int) error {
 	}
 	var rcs []span
 	rcSorted := append([]Reconfiguration(nil), s.Reconfs...)
-	sort.Slice(rcSorted, func(i, j int) bool { return rcSorted[i].Start < rcSorted[j].Start })
+	sort.Slice(rcSorted, func(i, j int) bool {
+		if rcSorted[i].Start != rcSorted[j].Start {
+			return rcSorted[i].Start < rcSorted[j].Start
+		}
+		if rcSorted[i].Region != rcSorted[j].Region {
+			return rcSorted[i].Region < rcSorted[j].Region
+		}
+		return rcSorted[i].OutTask < rcSorted[j].OutTask
+	})
 	for _, rc := range rcSorted {
 		rcs = append(rcs, span{rc.Start, rc.End, '#'})
 	}

@@ -1,0 +1,27 @@
+package repro
+
+import (
+	"testing"
+
+	"resched/internal/analyze"
+)
+
+// TestReschedvetClean is the tier-1 wiring of the static-analysis suite: it
+// parses and type-checks the whole module and fails on any violation of the
+// determinism and correctness invariants (see internal/analyze). This keeps
+// `go test ./...` red while a nondeterministic map iteration, a use of the
+// global rand source, an exact float comparison, an unstable single-key
+// sort, or a dropped I/O error exists anywhere in shipped code.
+func TestReschedvetClean(t *testing.T) {
+	pkgs, err := analyze.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings := analyze.Run(pkgs, analyze.All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("run `go run ./cmd/reschedvet ./...` for the same report; suppress a finding with //reschedvet:ignore <analyzer> and a reason")
+	}
+}
