@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet bench
+.PHONY: verify fmt-check vet build test race reschedvet bench bench-all
 
 verify: fmt-check vet build race reschedvet
 	@echo "verify: all gates passed"
@@ -31,5 +31,10 @@ race:
 reschedvet:
 	$(GO) run ./cmd/reschedvet ./...
 
+# bench runs the Table I suite and records it as structured JSON, the file
+# successive PRs diff to track scheduler performance over time.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem

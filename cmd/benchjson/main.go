@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into a structured JSON document, so benchmark results can be committed
+// and diffed across PRs. `make bench` pipes the BenchmarkTable1* suite
+// through it to produce BENCH_table1.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkTable1' -benchmem . | benchjson -o BENCH_table1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds any additional custom metrics (e.g. "makespan" from
+	// b.ReportMetric), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the JSON document layout.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(doc.Benchmarks))
+}
+
+// parse reads `go test -bench` output: header lines (goos/goarch/pkg/cpu)
+// followed by result lines of the form
+//
+//	BenchmarkName/sub-8   100   123456 ns/op   512 B/op   7 allocs/op
+//
+// Non-benchmark lines (PASS, ok, test log output) are ignored.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses one benchmark result line into its metrics.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Minimum shape: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = val
+		}
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: resched
+cpu: AMD EPYC 7B13
+BenchmarkTable1PA/tasks=10-8         	    2690	    427950 ns/op	  137801 B/op	    1511 allocs/op
+BenchmarkTable1PA/tasks=100-8        	      66	  17585235 ns/op	 4633766 B/op	   49366 allocs/op
+BenchmarkAblationOrdering/efficiency-8 	    1892	    611999 ns/op	     14279 makespan	  178722 B/op
+PASS
+ok  	resched	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "resched" {
+		t.Errorf("header = %q/%q/%q, want linux/amd64/resched", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkTable1PA/tasks=10-8" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Iterations != 2690 || b.NsPerOp != 427950 || b.BytesPerOp != 137801 || b.AllocsPerOp != 1511 {
+		t.Errorf("metrics = %+v", b)
+	}
+	// Custom metric (b.ReportMetric) lands in Extra keyed by unit.
+	if got := doc.Benchmarks[2].Extra["makespan"]; got != 14279 {
+		t.Errorf("makespan extra = %v, want 14279", got)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := parse(strings.NewReader("random output\nBenchmark broken line\nok resched 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise, want 0", len(doc.Benchmarks))
+	}
+}

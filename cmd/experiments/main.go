@@ -5,32 +5,72 @@
 //
 //	experiments [-exp all|table1|fig2|fig3|fig4|fig5|fig6]
 //	            [-per-group 10] [-seed 2016] [-fig6-budget 5s] [-quiet]
+//	            [-trace trace.json] [-metrics metrics.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // A full run (-per-group 10) evaluates 100 instances × 4 algorithms; use
-// -per-group 2 or 3 for a quick look.
+// -per-group 2 or 3 for a quick look. With -trace every scheduler run
+// lands in one Chrome trace-event timeline (open in Perfetto); -metrics
+// aggregates spans and counters as JSON and prints a summary to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"resched/internal/experiments"
+	"resched/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole command so error returns unwind through the deferred
+// profile finaliser; os.Exit in main would skip it.
+func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, fig2, fig3, fig4, fig5, fig6, contention, parallelism or optgap")
-		perGroup   = flag.Int("per-group", 10, "instances per task-count group")
-		seed       = flag.Int64("seed", 2016, "benchmark suite seed")
-		fig6Budget = flag.Duration("fig6-budget", 5*time.Second, "PA-R budget per Fig. 6 instance")
-		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		exp         = flag.String("exp", "all", "experiment: all, table1, fig2, fig3, fig4, fig5, fig6, contention, parallelism or optgap")
+		perGroup    = flag.Int("per-group", 10, "instances per task-count group")
+		seed        = flag.Int64("seed", 2016, "benchmark suite seed")
+		fig6Budget  = flag.Duration("fig6-budget", 5*time.Second, "PA-R budget per Fig. 6 instance")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metricsPath = flag.String("metrics", "", "write flat counters and span aggregates as JSON")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (runtime/pprof)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true}
+	if *cpuProfile != "" {
+		cf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			_ = cf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = cf.Close()
+		}()
+	}
+
+	var trace *obs.Trace
+	if *tracePath != "" || *metricsPath != "" {
+		trace = obs.New()
+	}
+
+	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true, Trace: trace}
 	want := strings.ToLower(*exp)
 	needSuite := want != "fig6" && want != "contention" && want != "parallelism" && want != "optgap"
 
@@ -48,7 +88,7 @@ func main() {
 			fmt.Fprintln(os.Stderr)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -63,37 +103,81 @@ func main() {
 	show("fig3", func() { experiments.WriteFig3(os.Stdout, results) })
 	show("fig4", func() { experiments.WriteFig4(os.Stdout, results) })
 	show("fig5", func() { experiments.WriteFig5(os.Stdout, results) })
+	var runErr error
 	show("fig6", func() {
 		points, err := experiments.RunFig6(cfg, experiments.Fig6Config{Seed: *seed, Budget: *fig6Budget})
 		if err != nil {
-			fatal(err)
+			runErr = err
+			return
 		}
 		experiments.WriteFig6(os.Stdout, points)
 	})
+	if runErr != nil {
+		return runErr
+	}
 	if want == "contention" {
 		points, err := experiments.RunContention(experiments.ContentionConfig{Seed: *seed})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		experiments.WriteContention(os.Stdout, points)
 	}
 	if want == "parallelism" {
 		points, err := experiments.RunParallelism(experiments.ParallelismConfig{Seed: *seed})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		experiments.WriteParallelism(os.Stdout, points)
 	}
 	if want == "optgap" {
 		points, err := experiments.RunOptGap(experiments.OptGapConfig{Seed: *seed})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		experiments.WriteOptGap(os.Stdout, points)
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	if trace != nil {
+		if *tracePath != "" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteChromeTrace(tf); err != nil {
+				return err
+			}
+			if err := tf.Close(); err != nil {
+				return err
+			}
+		}
+		if *metricsPath != "" {
+			mf, err := os.Create(*metricsPath)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteMetricsJSON(mf); err != nil {
+				return err
+			}
+			if err := mf.Close(); err != nil {
+				return err
+			}
+		}
+		if err := trace.WriteSummary(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -6,16 +6,25 @@
 //
 //	pasched -graph app.json [-algo pa|par|is1|is5] [-budget 2s]
 //	        [-reuse] [-gantt] [-dot out.dot] [-seed 7]
+//	        [-trace trace.json] [-metrics metrics.json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -trace the run is recorded as a Chrome trace-event file (open it in
+// Perfetto or chrome://tracing); -metrics writes the flat counters/span
+// aggregates as JSON and prints a span summary table to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"resched/internal/arch"
 	"resched/internal/isk"
+	"resched/internal/obs"
 	"resched/internal/sched"
 	"resched/internal/schedule"
 	"resched/internal/sim"
@@ -23,19 +32,32 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pasched:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole command so error returns unwind through the deferred
+// profile/trace finalisers; os.Exit in main would skip them.
+func run() error {
 	var (
-		graphPath = flag.String("graph", "", "task-graph JSON file (required)")
-		algo      = flag.String("algo", "pa", "scheduler: pa, par, is1 or is5")
-		budget    = flag.Duration("budget", 2*time.Second, "PA-R time budget")
-		seed      = flag.Int64("seed", 1, "PA-R random seed")
-		reuse     = flag.Bool("reuse", false, "enable module reuse")
-		gantt     = flag.Bool("gantt", false, "print a textual Gantt chart")
-		simulate  = flag.Bool("sim", false, "execute the schedule on the discrete-event platform model")
-		stats     = flag.Bool("stats", false, "print a utilisation report")
-		width     = flag.Int("width", 100, "Gantt chart width in cells")
-		dotPath   = flag.String("dot", "", "also write the task graph as Graphviz DOT")
-		outPath   = flag.String("out", "", "write the schedule as JSON")
-		svgPath   = flag.String("svg", "", "write the schedule as an SVG Gantt chart")
+		graphPath   = flag.String("graph", "", "task-graph JSON file (required)")
+		algo        = flag.String("algo", "pa", "scheduler: pa, par, is1 or is5")
+		budget      = flag.Duration("budget", 2*time.Second, "PA-R time budget")
+		seed        = flag.Int64("seed", 1, "PA-R random seed")
+		reuse       = flag.Bool("reuse", false, "enable module reuse")
+		gantt       = flag.Bool("gantt", false, "print a textual Gantt chart")
+		simulate    = flag.Bool("sim", false, "execute the schedule on the discrete-event platform model")
+		utilization = flag.Bool("stats", false, "print a utilisation report")
+		width       = flag.Int("width", 100, "Gantt chart width in cells")
+		dotPath     = flag.String("dot", "", "also write the task graph as Graphviz DOT")
+		outPath     = flag.String("out", "", "write the schedule as JSON")
+		svgPath     = flag.String("svg", "", "write the schedule as an SVG Gantt chart")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metricsPath = flag.String("metrics", "", "write flat counters and span aggregates as JSON")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (runtime/pprof)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -43,73 +65,112 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		cf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			_ = cf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = cf.Close()
+		}()
+	}
+
 	f, err := os.Open(*graphPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	g, err := taskgraph.Read(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *dotPath != "" {
 		df, err := os.Create(*dotPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := g.WriteDOT(df); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := df.Close(); err != nil {
-			fatal(err)
+			return err
 		}
+	}
+
+	// One trace serves both exports; it stays nil — a true no-op — unless
+	// observability output was requested.
+	var trace *obs.Trace
+	if *tracePath != "" || *metricsPath != "" {
+		trace = obs.New()
 	}
 
 	a := arch.ZedBoard()
 	var sch *schedule.Schedule
+	report := struct {
+		scheduling, floorplanning time.Duration
+		retries, iterations       int
+	}{}
 	start := time.Now()
 	switch *algo {
 	case "pa":
-		var stats *sched.Stats
-		sch, stats, err = sched.Schedule(g, a, sched.Options{ModuleReuse: *reuse})
+		var paStats *sched.Stats
+		sch, paStats, err = sched.Schedule(g, a, sched.Options{ModuleReuse: *reuse, Trace: trace})
 		if err == nil {
-			fmt.Printf("scheduling %v, floorplanning %v, retries %d\n",
-				stats.SchedulingTime.Round(time.Microsecond),
-				stats.FloorplanTime.Round(time.Microsecond), stats.Retries)
+			report.scheduling = paStats.SchedulingTime
+			report.floorplanning = paStats.FloorplanTime
+			report.retries = paStats.Retries
+			report.iterations = paStats.Attempts
 		}
 	case "par":
-		var stats *sched.RandomStats
-		sch, stats, err = sched.RSchedule(g, a, sched.RandomOptions{
-			TimeBudget: *budget, Seed: *seed, ModuleReuse: *reuse,
+		var parStats *sched.RandomStats
+		sch, parStats, err = sched.RSchedule(g, a, sched.RandomOptions{
+			TimeBudget: *budget, Seed: *seed, ModuleReuse: *reuse, Trace: trace,
 		})
 		if err == nil {
-			fmt.Printf("iterations %d, floorplan calls %d, discarded %d\n",
-				stats.Iterations, stats.FloorplanCalls, stats.Discarded)
+			report.scheduling = parStats.SchedulingTime
+			report.floorplanning = parStats.FloorplanTime
+			report.retries = parStats.Discarded
+			report.iterations = parStats.Iterations
+			fmt.Printf("floorplan calls %d, discarded %d, improvements %d\n",
+				parStats.FloorplanCalls, parStats.Discarded, len(parStats.History))
 		}
 	case "is1", "is5":
 		k := 1
 		if *algo == "is5" {
 			k = 5
 		}
-		var stats *isk.Stats
-		sch, stats, err = isk.Schedule(g, a, isk.Options{K: k, ModuleReuse: *reuse})
+		var iskStats *isk.Stats
+		sch, iskStats, err = isk.Schedule(g, a, isk.Options{K: k, ModuleReuse: *reuse, Trace: trace})
 		if err == nil {
-			fmt.Printf("windows %d, nodes %d, retries %d\n", stats.Windows, stats.Nodes, stats.Retries)
+			report.scheduling = iskStats.SchedulingTime
+			report.floorplanning = iskStats.FloorplanTime
+			report.retries = iskStats.Retries
+			report.iterations = iskStats.Windows
+			fmt.Printf("windows %d, nodes %d\n", iskStats.Windows, iskStats.Nodes)
 		}
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	fmt.Printf("scheduling %v, floorplanning %v, retries %d, iterations %d\n",
+		report.scheduling.Round(time.Microsecond),
+		report.floorplanning.Round(time.Microsecond),
+		report.retries, report.iterations)
 	fmt.Printf("total %v\n", time.Since(start).Round(time.Microsecond))
 	if errs := schedule.Check(sch); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "invalid schedule:", e)
 		}
-		os.Exit(1)
+		return fmt.Errorf("schedule failed validation (%d errors)", len(errs))
 	}
 	fmt.Println(sch.Summary())
 	for _, r := range sch.Regions {
@@ -117,49 +178,94 @@ func main() {
 	}
 	if *gantt {
 		if err := sch.WriteGantt(os.Stdout, *width); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	if *stats {
+	if *utilization {
 		if err := schedule.ComputeStats(sch).WriteReport(os.Stdout); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *outPath != "" {
 		of, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := sch.WriteJSON(of); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := of.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *svgPath != "" {
 		sf, err := os.Create(*svgPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := sch.WriteSVG(sf); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := sf.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *simulate {
 		res, err := sim.Execute(sch)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("simulated: makespan %d ticks (%d ticks of static slack recovered), %d events\n",
 			res.Makespan, res.Slack(sch), res.Events)
 	}
+	if err := writeObservability(trace, *tracePath, *metricsPath); err != nil {
+		return err
+	}
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pasched:", err)
-	os.Exit(1)
+// writeObservability exports the trace-event and metrics files and prints
+// the span summary table to stderr when tracing was enabled.
+func writeObservability(trace *obs.Trace, tracePath, metricsPath string) error {
+	if trace == nil {
+		return nil
+	}
+	if tracePath != "" {
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(tf); err != nil {
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		mf, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteMetricsJSON(mf); err != nil {
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+	return trace.WriteSummary(os.Stderr)
 }

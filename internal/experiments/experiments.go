@@ -15,6 +15,7 @@ import (
 	"resched/internal/arch"
 	"resched/internal/benchgen"
 	"resched/internal/isk"
+	"resched/internal/obs"
 	"resched/internal/sched"
 	"resched/internal/schedule"
 	"resched/internal/taskgraph"
@@ -40,6 +41,10 @@ type Config struct {
 	MinParBudget time.Duration
 	// Validate re-checks every schedule with the independent checker.
 	Validate bool
+	// Trace, when non-nil, records one span per (instance, algorithm) pair
+	// and forwards the trace into every scheduler so their attempt, phase
+	// and window spans land in the same timeline. A nil trace is a no-op.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -126,9 +131,13 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 		return nil
 	}
 
+	inst := cfg.Trace.Start("experiment.instance",
+		obs.Int("group", int64(e.Group)), obs.Int("index", int64(e.Index)))
+	defer inst.End()
+
 	// PA.
 	t0 := time.Now()
-	pa, paStats, err := sched.Schedule(e.Graph, a, sched.Options{})
+	pa, paStats, err := sched.Schedule(e.Graph, a, sched.Options{Trace: cfg.Trace})
 	res.PA = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.PA.Makespan = pa.Makespan
@@ -141,7 +150,7 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 
 	// IS-1 (module reuse enabled, §VII-A).
 	t0 = time.Now()
-	is1, is1Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 1, ModuleReuse: true})
+	is1, is1Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 1, ModuleReuse: true, Trace: cfg.Trace})
 	res.IS1 = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.IS1.Makespan = is1.Makespan
@@ -154,7 +163,7 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 
 	// IS-5.
 	t0 = time.Now()
-	is5, is5Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 5, ModuleReuse: true})
+	is5, is5Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 5, ModuleReuse: true, Trace: cfg.Trace})
 	res.IS5 = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.IS5.Makespan = is5.Makespan
@@ -172,7 +181,7 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 		budget = cfg.MinParBudget
 	}
 	t0 = time.Now()
-	par, _, err := sched.RSchedule(e.Graph, a, sched.RandomOptions{TimeBudget: budget, Seed: cfg.Seed + int64(e.Group*100+e.Index)})
+	par, _, err := sched.RSchedule(e.Graph, a, sched.RandomOptions{TimeBudget: budget, Seed: cfg.Seed + int64(e.Group*100+e.Index), Trace: cfg.Trace})
 	res.PAR = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.PAR.Makespan = par.Makespan

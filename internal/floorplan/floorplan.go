@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/obs"
 	"resched/internal/resources"
 )
 
@@ -114,6 +115,10 @@ type Options struct {
 	MaxNodes int
 	// Deadline aborts the search when passed (zero = none).
 	Deadline time.Time
+	// Trace, when non-nil, records a floorplan.solve span (method, region
+	// count, outcome, node count) and feasibility counters per invocation.
+	// A nil trace is a no-op.
+	Trace *obs.Trace
 }
 
 // Result is the outcome of a floorplanning query.
@@ -135,6 +140,32 @@ type Result struct {
 // Solve searches for a disjoint placement of all regions on the fabric.
 // Regions with zero requirements are rejected.
 func Solve(f *arch.Fabric, regions []resources.Vector, opt Options) (*Result, error) {
+	sp := opt.Trace.Start("floorplan.solve",
+		obs.Str("method", opt.Method.String()), obs.Int("regions", int64(len(regions))))
+	res, err := solve(f, regions, opt)
+	opt.Trace.Count("floorplan.calls", 1)
+	switch {
+	case err != nil:
+		opt.Trace.Count("floorplan.errors", 1)
+		sp.End(obs.Str("outcome", "error"))
+	case res.Feasible:
+		opt.Trace.Count("floorplan.feasible", 1)
+		opt.Trace.Count("floorplan.nodes", int64(res.Nodes))
+		sp.End(obs.Str("outcome", "feasible"), obs.Int("nodes", int64(res.Nodes)))
+	default:
+		opt.Trace.Count("floorplan.infeasible", 1)
+		opt.Trace.Count("floorplan.nodes", int64(res.Nodes))
+		outcome := "infeasible"
+		if !res.Proven {
+			outcome = "infeasible-unproven"
+		}
+		sp.End(obs.Str("outcome", outcome), obs.Int("nodes", int64(res.Nodes)))
+	}
+	return res, err
+}
+
+// solve is the uninstrumented search behind Solve.
+func solve(f *arch.Fabric, regions []resources.Vector, opt Options) (*Result, error) {
 	start := time.Now()
 	if err := f.Validate(); err != nil {
 		return nil, err

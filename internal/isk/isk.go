@@ -21,6 +21,7 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/floorplan"
+	"resched/internal/obs"
 	"resched/internal/resources"
 	"resched/internal/schedule"
 	"resched/internal/taskgraph"
@@ -57,6 +58,11 @@ type Options struct {
 	// ShrinkFactor is the virtual capacity reduction per retry
 	// (default 0.93: retries are cheap, so shrink gently).
 	ShrinkFactor float64
+	// Trace, when non-nil, records spans for the run, each shrink-retry
+	// attempt and each window solve (with its branch-and-bound node count),
+	// plus window/node counters (package obs). A nil trace is a no-op and
+	// recording never perturbs the window search.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -99,40 +105,60 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	if err := a.Validate(); err != nil {
 		return nil, nil, err
 	}
+	runSpan := opts.Trace.Start("isk.run", obs.Int("k", int64(opts.K)))
+	defer runSpan.End()
+	if opts.Floorplan.Trace == nil {
+		opts.Floorplan.Trace = opts.Trace
+	}
 	stats := &Stats{}
 	maxRes := a.MaxRes
 	for attempt := 0; ; attempt++ {
+		var att *obs.Span
+		if opts.Trace.Enabled() {
+			att = opts.Trace.Start("isk.attempt",
+				obs.Int("attempt", int64(attempt)), obs.Str("maxres", maxRes.String()))
+		}
 		begin := time.Now()
 		sch, err := run(g, a, maxRes, opts, stats)
 		stats.SchedulingTime += time.Since(begin)
 		if err != nil {
+			att.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
 		if opts.SkipFloorplan {
+			att.End(obs.Str("outcome", "unfloorplanned"))
 			return sch, stats, nil
 		}
 		fabric, err := a.RequireFabric()
 		if err != nil {
+			att.End(obs.Str("outcome", "error"))
 			return nil, nil, fmt.Errorf("isk: floorplanning requested: %w", err)
 		}
 		regionRes := make([]resources.Vector, len(sch.Regions))
 		for i, r := range sch.Regions {
 			regionRes[i] = r.Res
 		}
+		fp := opts.Trace.Start("isk.floorplan")
 		fpBegin := time.Now()
 		res, err := floorplan.Solve(fabric, regionRes, opts.Floorplan)
 		stats.FloorplanTime += time.Since(fpBegin)
+		fp.End()
 		if err != nil {
+			att.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
 		if res.Feasible {
 			stats.Placements = res.Placements
+			att.End(obs.Str("outcome", "feasible"))
 			return sch, stats, nil
 		}
 		if attempt >= opts.MaxRetries {
+			att.End(obs.Str("outcome", "infeasible"))
 			return nil, nil, fmt.Errorf("isk: no floorplan-feasible schedule after %d shrink retries", attempt)
 		}
 		stats.Retries++
+		opts.Trace.Count("isk.retries", 1)
+		att.End(obs.Str("outcome", "infeasible-shrink"))
 		for k := range maxRes {
 			maxRes[k] = int(float64(maxRes[k]) * opts.ShrinkFactor)
 		}
@@ -155,9 +181,16 @@ func run(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts
 		}
 		window := order[lo:hi]
 		stats.Windows++
+		opts.Trace.Count("isk.windows", 1)
+		w := opts.Trace.Start("isk.window",
+			obs.Int("window", int64(lo/opts.K)), obs.Int("tasks", int64(len(window))))
+		nodesBefore := stats.Nodes
 		if err := st.solveWindow(window, opts.MaxWindowNodes, &stats.Nodes); err != nil {
+			w.End(obs.Str("outcome", "error"))
 			return nil, err
 		}
+		w.End(obs.Int("nodes", int64(stats.Nodes-nodesBefore)))
+		opts.Trace.Count("isk.nodes", int64(stats.Nodes-nodesBefore))
 	}
 	return st.emit(fmt.Sprintf("IS-%d", opts.K), opts.ModuleReuse), nil
 }

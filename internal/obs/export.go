@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array. Timestamps and durations are microseconds, the unit the format
+// specifies.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container flavour of the format, which
+// chrome://tracing and Perfetto both load directly.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports the spans as Chrome trace-event JSON: one
+// complete ("X") event per span, all on a single pid/tid so viewers infer
+// the hierarchy from time containment. A nil or empty trace writes a valid
+// file with no events. Counters and gauges are not part of the event
+// stream; WriteMetricsJSON carries them.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	snap := t.Snapshot()
+	doc := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(snap.Spans)+1),
+		DisplayTimeUnit: "ms",
+	}
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  1,
+		Tid:  1,
+		Args: map[string]any{"name": "resched"},
+	})
+	for _, sp := range snap.Spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   micros(sp.Start),
+			Dur:  micros(sp.End - sp.Start),
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(sp.Args) > 0 {
+			ev.Args = make(map[string]any, len(sp.Args))
+			for _, a := range sp.Args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// SpanStats aggregates every span sharing one name.
+type SpanStats struct {
+	Count   int64   `json:"count"`
+	TotalUS float64 `json:"total_us"`
+	MinUS   float64 `json:"min_us"`
+	MaxUS   float64 `json:"max_us"`
+}
+
+// MetricsDoc is the flat metrics document WriteMetricsJSON emits: the
+// counters and gauges verbatim plus per-name span aggregates. Maps serialise
+// with sorted keys (encoding/json guarantees this), so the export is
+// byte-stable across runs of a deterministic workload.
+type MetricsDoc struct {
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]float64   `json:"gauges"`
+	Spans    map[string]SpanStats `json:"spans"`
+}
+
+// Metrics computes the flat metrics view of the trace.
+func (t *Trace) Metrics() MetricsDoc {
+	snap := t.Snapshot()
+	doc := MetricsDoc{
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+		Spans:    make(map[string]SpanStats, 16),
+	}
+	for _, sp := range snap.Spans {
+		us := micros(sp.End - sp.Start)
+		st, ok := doc.Spans[sp.Name]
+		if !ok {
+			st = SpanStats{MinUS: us, MaxUS: us}
+		}
+		st.Count++
+		st.TotalUS += us
+		if us < st.MinUS {
+			st.MinUS = us
+		}
+		if us > st.MaxUS {
+			st.MaxUS = us
+		}
+		doc.Spans[sp.Name] = st
+	}
+	return doc
+}
+
+// WriteMetricsJSON exports the flat metrics document. A nil trace writes an
+// empty (but valid) document.
+func (t *Trace) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Metrics())
+}
+
+// WriteSummary renders a human-readable table of the span aggregates
+// (sorted by total time, longest first) followed by the counters and gauges
+// in name order.
+func (t *Trace) WriteSummary(w io.Writer) error {
+	doc := t.Metrics()
+	names := make([]string, 0, len(doc.Spans))
+	for name := range doc.Spans {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := doc.Spans[names[i]], doc.Spans[names[j]]
+		if a.TotalUS > b.TotalUS {
+			return true
+		}
+		if b.TotalUS > a.TotalUS {
+			return false
+		}
+		return names[i] < names[j]
+	})
+	if _, err := fmt.Fprintf(w, "%-28s %8s %12s %12s %12s %12s\n",
+		"span", "count", "total", "mean", "min", "max"); err != nil {
+		return err
+	}
+	usDur := func(us float64) time.Duration {
+		return time.Duration(us * 1e3).Round(time.Microsecond)
+	}
+	for _, name := range names {
+		st := doc.Spans[name]
+		if _, err := fmt.Fprintf(w, "%-28s %8d %12v %12v %12v %12v\n",
+			name, st.Count, usDur(st.TotalUS), usDur(st.TotalUS/float64(st.Count)),
+			usDur(st.MinUS), usDur(st.MaxUS)); err != nil {
+			return err
+		}
+	}
+	var ctrs []string
+	for name := range doc.Counters {
+		ctrs = append(ctrs, name)
+	}
+	sort.Strings(ctrs)
+	for _, name := range ctrs {
+		if _, err := fmt.Fprintf(w, "%-28s %8d\n", name, doc.Counters[name]); err != nil {
+			return err
+		}
+	}
+	var gs []string
+	for name := range doc.Gauges {
+		gs = append(gs, name)
+	}
+	sort.Strings(gs)
+	for _, name := range gs {
+		if _, err := fmt.Fprintf(w, "%-28s %8.3f\n", name, doc.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

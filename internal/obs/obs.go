@@ -1,0 +1,253 @@
+// Package obs is a zero-dependency observability layer for the scheduling
+// pipeline: hierarchical spans on a monotonic clock, named counters and
+// gauges, and exporters for the Chrome trace-event format (loadable in
+// Perfetto or chrome://tracing) and a flat metrics JSON with a
+// human-readable summary table.
+//
+// The package is built for optional instrumentation of deterministic code:
+// a nil *Trace is a valid receiver for every method and turns the whole
+// layer into a no-op costing one pointer comparison, so hot paths can be
+// instrumented unconditionally. Recording only observes wall-clock time and
+// event counts — it never feeds back into scheduling decisions, which keeps
+// traced and untraced runs byte-identical (TestTracingDeterminism at the
+// repository root asserts this).
+//
+// Span taxonomy used by the schedulers: a root span per run (pa.run,
+// par.run, isk.run), one child span per shrink-retry attempt or search
+// iteration, and grandchildren for the individual phases, floorplan solver
+// invocations and IS-k windows. See DESIGN.md §8.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Arg is one key/value annotation attached to a span. Values are restricted
+// by the constructors to strings, int64s, float64s and bools so every span
+// serialises cleanly to JSON.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Str annotates a span with a string value.
+func Str(key, val string) Arg { return Arg{Key: key, Val: val} }
+
+// Int annotates a span with an integer value.
+func Int(key string, val int64) Arg { return Arg{Key: key, Val: val} }
+
+// Float annotates a span with a float value.
+func Float(key string, val float64) Arg { return Arg{Key: key, Val: val} }
+
+// Bool annotates a span with a boolean value.
+func Bool(key string, val bool) Arg { return Arg{Key: key, Val: val} }
+
+// Trace accumulates spans, counters and gauges for one run. The zero value
+// is not usable; construct with New. All methods are safe on a nil receiver
+// and safe for concurrent use.
+type Trace struct {
+	mu sync.Mutex
+	// clock returns the monotonic time since the trace epoch. time.Since
+	// on the epoch captured by New reads the monotonic clock, so spans are
+	// immune to wall-clock adjustments; tests substitute a fake clock for
+	// reproducible exports.
+	clock    func() time.Duration
+	spans    []spanRecord
+	open     int // index of the innermost open span, -1 at root
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// spanRecord is the internal storage of one span, indexed by start order.
+type spanRecord struct {
+	name   string
+	parent int // index into spans, -1 for root spans
+	depth  int
+	start  time.Duration
+	end    time.Duration // negative while open
+	args   []Arg
+}
+
+// Span is a handle to an in-flight span. A nil *Span (returned by a nil
+// trace) accepts every method as a no-op.
+type Span struct {
+	tr *Trace
+	id int
+}
+
+// New returns an empty trace whose clock starts now.
+func New() *Trace {
+	epoch := time.Now()
+	return &Trace{
+		clock:    func() time.Duration { return time.Since(epoch) },
+		open:     -1,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Enabled reports whether the trace records anything; callers use it to
+// skip expensive argument construction (formatting a resource vector, say)
+// when tracing is off.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Start opens a span nested under the innermost open span. It returns nil
+// (a valid no-op handle) when the trace is nil.
+func (t *Trace) Start(name string, args ...Arg) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent, depth := t.open, 0
+	if parent >= 0 {
+		depth = t.spans[parent].depth + 1
+	}
+	id := len(t.spans)
+	t.spans = append(t.spans, spanRecord{
+		name:   name,
+		parent: parent,
+		depth:  depth,
+		start:  t.clock(),
+		end:    -1,
+		args:   args,
+	})
+	t.open = id
+	return &Span{tr: t, id: id}
+}
+
+// End closes the span, attaching any final annotations (an outcome tag,
+// say). Open descendants that were never ended explicitly are closed at the
+// same instant, so an early return that skips an inner End cannot corrupt
+// the nesting. Ending a span twice is a no-op.
+func (s *Span) End(args ...Arg) {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := &t.spans[s.id]
+	if rec.end >= 0 {
+		return
+	}
+	now := t.clock()
+	// Close the open chain from the innermost span up to (and including)
+	// this one. The chain walk is bounded by the nesting depth.
+	for cur := t.open; cur >= 0; cur = t.spans[cur].parent {
+		if t.spans[cur].end < 0 {
+			t.spans[cur].end = now
+		}
+		if cur == s.id {
+			t.open = t.spans[cur].parent
+			break
+		}
+	}
+	if rec.end < 0 {
+		// The span was not on the open chain (its parent ended first and
+		// swept the stack past it); close it in place.
+		rec.end = now
+	}
+	rec.args = append(rec.args, args...)
+}
+
+// Annotate attaches additional key/value pairs to an open span.
+func (s *Span) Annotate(args ...Arg) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	rec := &s.tr.spans[s.id]
+	rec.args = append(rec.args, args...)
+}
+
+// Count adds delta to the named counter.
+func (t *Trace) Count(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counters[name] += delta
+}
+
+// SetGauge records the latest value of the named gauge.
+func (t *Trace) SetGauge(name string, val float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gauges[name] = val
+}
+
+// SpanInfo is the read-only view of one recorded span.
+type SpanInfo struct {
+	// Name is the span label (e.g. "pa.phase3.regions").
+	Name string
+	// Parent is the index of the enclosing span in the snapshot slice, -1
+	// for root spans.
+	Parent int
+	// Depth is the nesting level (0 for root spans).
+	Depth int
+	// Start and End are monotonic offsets from the trace epoch; End equals
+	// the snapshot instant for spans still open when the snapshot is taken.
+	Start, End time.Duration
+	// Args holds the annotations in attachment order.
+	Args []Arg
+}
+
+// Duration is the span length.
+func (s SpanInfo) Duration() time.Duration { return s.End - s.Start }
+
+// Snapshot is a consistent copy of a trace's content.
+type Snapshot struct {
+	// Spans lists every span in start order.
+	Spans []SpanInfo
+	// Counters and Gauges are copies of the named metrics.
+	Counters map[string]int64
+	Gauges   map[string]float64
+	// Taken is the clock offset at which the snapshot was captured; spans
+	// still open are reported as ending here.
+	Taken time.Duration
+}
+
+// Snapshot captures the current trace content. A nil trace yields an empty
+// snapshot.
+func (t *Trace) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	out := Snapshot{
+		Spans:    make([]SpanInfo, len(t.spans)),
+		Counters: make(map[string]int64, len(t.counters)),
+		Gauges:   make(map[string]float64, len(t.gauges)),
+		Taken:    now,
+	}
+	for i, rec := range t.spans {
+		end := rec.end
+		if end < 0 {
+			end = now
+		}
+		out.Spans[i] = SpanInfo{
+			Name:   rec.name,
+			Parent: rec.parent,
+			Depth:  rec.depth,
+			Start:  rec.start,
+			End:    end,
+			Args:   append([]Arg(nil), rec.args...),
+		}
+	}
+	for k, v := range t.counters {
+		out.Counters[k] = v
+	}
+	for k, v := range t.gauges {
+		out.Gauges[k] = v
+	}
+	return out
+}

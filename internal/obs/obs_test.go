@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a trace whose clock advances by step on every reading,
+// starting at step. Deterministic clocks make span timestamps, and thus the
+// exporters' output, exactly reproducible.
+func fakeClock(step time.Duration) *Trace {
+	tr := New()
+	var now time.Duration
+	tr.clock = func() time.Duration {
+		now += step
+		return now
+	}
+	return tr
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	run := tr.Start("run", Str("algo", "pa"))
+	p1 := tr.Start("phase1")
+	p1.End()
+	p2 := tr.Start("phase2")
+	inner := tr.Start("phase2.inner")
+	inner.End()
+	p2.End(Str("outcome", "ok"))
+	run.End()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(snap.Spans))
+	}
+	wantNames := []string{"run", "phase1", "phase2", "phase2.inner"}
+	wantParents := []int{-1, 0, 0, 2}
+	wantDepths := []int{0, 1, 1, 2}
+	for i, sp := range snap.Spans {
+		if sp.Name != wantNames[i] {
+			t.Errorf("span %d: name %q, want %q (spans are in start order)", i, sp.Name, wantNames[i])
+		}
+		if sp.Parent != wantParents[i] {
+			t.Errorf("span %d (%s): parent %d, want %d", i, sp.Name, sp.Parent, wantParents[i])
+		}
+		if sp.Depth != wantDepths[i] {
+			t.Errorf("span %d (%s): depth %d, want %d", i, sp.Name, sp.Depth, wantDepths[i])
+		}
+		if sp.End < sp.Start {
+			t.Errorf("span %d (%s): end %v before start %v", i, sp.Name, sp.End, sp.Start)
+		}
+	}
+	// The root span must contain all children.
+	root := snap.Spans[0]
+	for _, sp := range snap.Spans[1:] {
+		if sp.Start < root.Start || sp.End > root.End {
+			t.Errorf("span %s [%v,%v] escapes root [%v,%v]", sp.Name, sp.Start, sp.End, root.Start, root.End)
+		}
+	}
+	if got := snap.Spans[2].Args; len(got) != 1 || got[0].Key != "outcome" || got[0].Val != "ok" {
+		t.Errorf("phase2 args = %v, want the End annotation outcome=ok", got)
+	}
+	if got := snap.Spans[0].Args; len(got) != 1 || got[0].Key != "algo" {
+		t.Errorf("run args = %v, want algo=pa", got)
+	}
+}
+
+func TestEndSweepsOpenDescendants(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	run := tr.Start("run")
+	tr.Start("leaked") // never ended explicitly
+	run.End()
+	next := tr.Start("next")
+	next.End()
+
+	snap := tr.Snapshot()
+	leaked := snap.Spans[1]
+	if leaked.End != snap.Spans[0].End {
+		t.Errorf("leaked span end %v, want swept to parent end %v", leaked.End, snap.Spans[0].End)
+	}
+	if got := snap.Spans[2]; got.Parent != -1 || got.Depth != 0 {
+		t.Errorf("span after sweep: parent %d depth %d, want a fresh root span", got.Parent, got.Depth)
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	sp := tr.Start("s")
+	sp.End()
+	end := tr.Snapshot().Spans[0].End
+	sp.End(Str("late", "ignored-timestamp"))
+	snap := tr.Snapshot()
+	if snap.Spans[0].End != end {
+		t.Errorf("second End moved the timestamp: %v -> %v", end, snap.Spans[0].End)
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Error("nil trace reports Enabled")
+	}
+	sp := tr.Start("ignored", Str("k", "v"))
+	if sp != nil {
+		t.Fatalf("nil trace Start returned %v, want nil", sp)
+	}
+	sp.End()
+	sp.Annotate(Int("n", 1))
+	tr.Count("c", 1)
+	tr.SetGauge("g", 1.5)
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 0 || len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Errorf("nil trace snapshot not empty: %+v", snap)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Errorf("nil WriteChromeTrace: %v", err)
+	}
+	sb.Reset()
+	if err := tr.WriteMetricsJSON(&sb); err != nil {
+		t.Errorf("nil WriteMetricsJSON: %v", err)
+	}
+	sb.Reset()
+	if err := tr.WriteSummary(&sb); err != nil {
+		t.Errorf("nil WriteSummary: %v", err)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	tr.Count("retries", 1)
+	tr.Count("retries", 2)
+	tr.Count("windows", 5)
+	tr.SetGauge("capacity", 1.0)
+	tr.SetGauge("capacity", 0.92)
+	snap := tr.Snapshot()
+	if snap.Counters["retries"] != 3 {
+		t.Errorf("retries = %d, want 3", snap.Counters["retries"])
+	}
+	if snap.Counters["windows"] != 5 {
+		t.Errorf("windows = %d, want 5", snap.Counters["windows"])
+	}
+	if snap.Gauges["capacity"] != 0.92 {
+		t.Errorf("capacity = %v, want latest value 0.92", snap.Gauges["capacity"])
+	}
+}
+
+func TestSnapshotReportsOpenSpans(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	tr.Start("still-open")
+	snap := tr.Snapshot()
+	sp := snap.Spans[0]
+	if sp.End != snap.Taken {
+		t.Errorf("open span end %v, want snapshot instant %v", sp.End, snap.Taken)
+	}
+	if sp.Duration() <= 0 {
+		t.Errorf("open span duration %v, want > 0", sp.Duration())
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		tr.Start("iter").End()
+	}
+	doc := tr.Metrics()
+	st, ok := doc.Spans["iter"]
+	if !ok {
+		t.Fatal("no aggregate for span name iter")
+	}
+	if st.Count != 3 {
+		t.Errorf("count = %d, want 3", st.Count)
+	}
+	// Every fake-clock span lasts exactly one step (1ms = 1000µs).
+	if st.MinUS != 1000 || st.MaxUS != 1000 || st.TotalUS != 3000 {
+		t.Errorf("aggregate = %+v, want min/max 1000µs, total 3000µs", st)
+	}
+}

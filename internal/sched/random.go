@@ -7,6 +7,7 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/floorplan"
+	"resched/internal/obs"
 	"resched/internal/resources"
 	"resched/internal/schedule"
 	"resched/internal/taskgraph"
@@ -26,6 +27,13 @@ type RandomOptions struct {
 	ModuleReuse bool
 	// Floorplan configures the feasibility queries on improving solutions.
 	Floorplan floorplan.Options
+	// Trace, when non-nil, records the search span, one span per iteration
+	// tagged with its outcome (improved / not-improving / infeasible) and
+	// the search counters (package obs). Iteration spans stay at iteration
+	// granularity — the inner pipeline phases are not traced, so the
+	// overhead per iteration is two clock readings. A nil trace is a no-op
+	// and recording never perturbs the seeded search.
+	Trace *obs.Trace
 }
 
 // ImprovementPoint records when the incumbent improved, for the
@@ -57,6 +65,11 @@ type RandomStats struct {
 	History []ImprovementPoint
 	// Elapsed is the total search time.
 	Elapsed time.Duration
+	// SchedulingTime is the time spent in the inner pipeline runs and
+	// FloorplanTime the time spent in feasibility queries, the same split
+	// Stats reports for PA (Table I).
+	SchedulingTime time.Duration
+	FloorplanTime  time.Duration
 }
 
 // RSchedule runs the randomized scheduler variant: the core heuristic is
@@ -79,6 +92,11 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		return nil, nil, fmt.Errorf("sched: PA-R floorplans improving schedules: %w", err)
 	}
 
+	run := opts.Trace.Start("par.run", obs.Int("seed", opts.Seed))
+	defer run.End()
+	if opts.Floorplan.Trace == nil {
+		opts.Floorplan.Trace = opts.Trace
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
 	var deadline time.Time
@@ -113,13 +131,18 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		if stats.Iterations == 0 {
 			runOpts.Rand = nil
 		}
+		it := opts.Trace.Start("par.iteration", obs.Int("iteration", int64(stats.Iterations)))
 		// Run at least one iteration even with a tiny budget.
+		innerBegin := time.Now()
 		sch, regionRes, err := runPipeline(g, a, maxRes, runOpts)
+		stats.SchedulingTime += time.Since(innerBegin)
 		if err != nil {
+			it.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
 		stats.Iterations++
 		if best != nil && sch.Makespan >= best.Makespan {
+			it.End(obs.Str("outcome", "not-improving"))
 			continue
 		}
 		// Improving schedule: validate the floorplan before accepting.
@@ -134,32 +157,42 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 			// virtual capacity and moves on.
 			fpOpts.MaxNodes = 20000
 		}
+		fpBegin := time.Now()
 		res, err := floorplan.Solve(fabric, regionRes, fpOpts)
+		stats.FloorplanTime += time.Since(fpBegin)
 		if err != nil {
+			it.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
 		if !res.Feasible {
 			stats.Discarded++
+			opts.Trace.Count("par.discarded", 1)
 			if capFactor > capFloor {
 				capFactor *= capShrink
 			}
+			it.End(obs.Str("outcome", "infeasible"))
 			continue
 		}
 		sch.Algorithm = "PA-R"
 		best = sch
+		opts.Trace.Count("par.improvements", 1)
 		stats.History = append(stats.History, ImprovementPoint{
 			Elapsed:   time.Since(start),
 			Iteration: stats.Iterations,
 			Makespan:  sch.Makespan,
 		})
+		it.End(obs.Str("outcome", "improved"), obs.Int("makespan", sch.Makespan))
 	}
 	stats.Elapsed = time.Since(start)
 	stats.CapacityFactor = capFactor
+	opts.Trace.Count("par.iterations", int64(stats.Iterations))
+	opts.Trace.Count("par.floorplan_calls", int64(stats.FloorplanCalls))
+	opts.Trace.SetGauge("par.capacity_factor", capFactor)
 	if best == nil {
 		// Fall back to the deterministic scheduler (with shrinking) so a
 		// budget too small to find a feasible randomized solution still
 		// yields an answer.
-		sch, _, err := Schedule(g, a, Options{ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan})
+		sch, _, err := Schedule(g, a, Options{ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan, Trace: opts.Trace})
 		if err != nil {
 			return nil, nil, fmt.Errorf("sched: PA-R found no feasible schedule: %w", err)
 		}

@@ -12,6 +12,7 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/floorplan"
+	"resched/internal/obs"
 	"resched/internal/resources"
 	"resched/internal/schedule"
 	"resched/internal/taskgraph"
@@ -44,6 +45,12 @@ type Options struct {
 	// NoSWBalance disables the software-task-balancing phase (§V-D);
 	// kept for ablation studies.
 	NoSWBalance bool
+	// Trace, when non-nil, records spans for the run, each shrink-retry
+	// attempt (annotated with the shrunk capacity vector) and each of the
+	// eight phases, plus retry counters (package obs). A nil trace is a
+	// no-op, and recording never influences scheduling decisions: traced
+	// and untraced runs produce identical schedules.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +73,10 @@ type Stats struct {
 	FloorplanTime time.Duration
 	// Retries counts shrink-and-restart rounds taken (0 = first try).
 	Retries int
+	// Attempts counts scheduling runs (Retries + 1 on success): the
+	// iteration count that makes the CLI report uniform across PA, PA-R
+	// and IS-k.
+	Attempts int
 	// Placements holds the floorplan found for the final schedule's
 	// regions (empty when SkipFloorplan).
 	Placements []floorplan.Placement
@@ -81,37 +92,58 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	if err := a.Validate(); err != nil {
 		return nil, nil, err
 	}
+	run := opts.Trace.Start("pa.run")
+	defer run.End()
+	if opts.Floorplan.Trace == nil {
+		opts.Floorplan.Trace = opts.Trace
+	}
 	stats := &Stats{}
 	maxRes := a.MaxRes
 	for attempt := 0; ; attempt++ {
+		var att *obs.Span
+		if opts.Trace.Enabled() {
+			att = opts.Trace.Start("pa.attempt",
+				obs.Int("attempt", int64(attempt)), obs.Str("maxres", maxRes.String()))
+		}
+		stats.Attempts++
 		begin := time.Now()
 		sch, regionRes, err := runPipeline(g, a, maxRes, opts)
 		stats.SchedulingTime += time.Since(begin)
 		if err != nil {
+			att.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
 		if opts.SkipFloorplan {
+			att.End(obs.Str("outcome", "unfloorplanned"))
 			return sch, stats, nil
 		}
 		fabric, err := a.RequireFabric()
 		if err != nil {
+			att.End(obs.Str("outcome", "error"))
 			return nil, nil, fmt.Errorf("sched: floorplanning requested: %w", err)
 		}
+		p8 := opts.Trace.Start("pa.phase8.floorplan")
 		fpBegin := time.Now()
 		res, err := floorplan.Solve(fabric, regionRes, opts.Floorplan)
 		stats.FloorplanTime += time.Since(fpBegin)
+		p8.End()
 		if err != nil {
+			att.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
 		if res.Feasible {
 			stats.Placements = res.Placements
+			att.End(obs.Str("outcome", "feasible"))
 			return sch, stats, nil
 		}
 		if attempt >= opts.MaxRetries {
+			att.End(obs.Str("outcome", "infeasible"))
 			return nil, nil, fmt.Errorf("sched: no floorplan-feasible schedule after %d shrink retries", attempt)
 		}
 		// §V-H: restart with virtually reduced FPGA resources.
 		stats.Retries++
+		opts.Trace.Count("pa.retries", 1)
+		att.End(obs.Str("outcome", "infeasible-shrink"))
 		for k := range maxRes {
 			maxRes[k] = int(float64(maxRes[k]) * opts.ShrinkFactor)
 		}
@@ -124,38 +156,58 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 	s.strict = opts.StrictWindows
 
 	// Phase 1: implementation selection.
+	sp := opts.Trace.Start("pa.phase1.implselect")
 	s.selectImplementations()
+	sp.End()
 	// Phase 2: critical path extraction.
+	sp = opts.Trace.Start("pa.phase2.criticalpath")
 	if err := s.retime(); err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	isCritical := make([]bool, g.N())
 	for t := range isCritical {
 		isCritical[t] = s.critical(t)
 	}
+	sp.End()
 	// Phase 3: regions definition.
+	sp = opts.Trace.Start("pa.phase3.regions")
 	if err := s.defineRegions(s.hwOrder(isCritical, opts.Rand), isCritical); err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.End(obs.Int("regions", int64(len(s.regions))))
 	// Phase 4: software task balancing.
 	if !opts.NoSWBalance {
+		sp = opts.Trace.Start("pa.phase4.swbalance")
 		if err := s.balanceSoftware(); err != nil {
+			sp.End()
 			return nil, nil, err
 		}
+		sp.End()
 	}
 	// Phase 5 is implicit: retime fixes T_START = T_MIN (§V-E).
+	sp = opts.Trace.Start("pa.phase5.starttimes")
 	if err := s.retime(); err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.End()
 	// Phase 6: software task mapping.
+	sp = opts.Trace.Start("pa.phase6.swmap")
 	if err := s.mapSoftware(); err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.End()
 	// Phase 7: reconfigurations scheduling.
+	sp = opts.Trace.Start("pa.phase7.reconf")
 	rts, err := s.scheduleReconfigs(opts.ModuleReuse)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.End(obs.Int("reconfigurations", int64(len(rts))))
 	sch := s.emit(rts, opts)
 	regionRes := make([]resources.Vector, len(s.regions))
 	for i, r := range s.regions {

@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/isk"
+	"resched/internal/obs"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+)
+
+// TestTracingDeterminism pins the central contract of the observability
+// layer: recording spans and counters must not perturb scheduling. PA,
+// seeded PA-R and IS-1 are each run with a live trace and without one, and
+// the schedules must be deeply equal — the trace only *observes* the run.
+// It also asserts the traced PA run actually recorded what the layer
+// promises: all eight phases, the attempt hierarchy and the floorplan
+// invocations.
+func TestTracingDeterminism(t *testing.T) {
+	g := benchgen.Generate(benchgen.Config{Tasks: 50, Seed: 424242})
+	a := arch.ZedBoard()
+
+	assertEqual := func(name string, plain, traced *schedule.Schedule) {
+		t.Helper()
+		if errs := schedule.Check(traced); len(errs) > 0 {
+			t.Fatalf("%s traced run produced an invalid schedule: %v", name, errs[0])
+		}
+		if !reflect.DeepEqual(plain, traced) {
+			t.Errorf("%s: tracing changed the schedule (makespan %d vs %d)",
+				name, plain.Makespan, traced.Makespan)
+		}
+	}
+
+	// PA.
+	plain, _, err := sched.Schedule(g, a, sched.Options{})
+	if err != nil {
+		t.Fatalf("PA untraced: %v", err)
+	}
+	paTrace := obs.New()
+	traced, _, err := sched.Schedule(g, a, sched.Options{Trace: paTrace})
+	if err != nil {
+		t.Fatalf("PA traced: %v", err)
+	}
+	assertEqual("PA", plain, traced)
+
+	// Seeded PA-R with an iteration cap, so both runs do identical work.
+	rOpts := sched.RandomOptions{MaxIterations: 40, Seed: 7}
+	plainR, _, err := sched.RSchedule(g, a, rOpts)
+	if err != nil {
+		t.Fatalf("PA-R untraced: %v", err)
+	}
+	rOpts.Trace = obs.New()
+	tracedR, _, err := sched.RSchedule(g, a, rOpts)
+	if err != nil {
+		t.Fatalf("PA-R traced: %v", err)
+	}
+	assertEqual("PA-R", plainR, tracedR)
+
+	// IS-1 (the baseline is instrumented too).
+	plainI, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true})
+	if err != nil {
+		t.Fatalf("IS-1 untraced: %v", err)
+	}
+	iskTrace := obs.New()
+	tracedI, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true, Trace: iskTrace})
+	if err != nil {
+		t.Fatalf("IS-1 traced: %v", err)
+	}
+	assertEqual("IS-1", plainI, tracedI)
+
+	// The PA trace must contain the full span taxonomy: run → attempt →
+	// the eight phases, with the floorplan solver invocation nested under
+	// phase 8.
+	snap := paTrace.Snapshot()
+	count := map[string]int{}
+	for _, sp := range snap.Spans {
+		count[sp.Name]++
+	}
+	for _, want := range []string{
+		"pa.run", "pa.attempt",
+		"pa.phase1.implselect", "pa.phase2.criticalpath", "pa.phase3.regions",
+		"pa.phase4.swbalance", "pa.phase5.starttimes", "pa.phase6.swmap",
+		"pa.phase7.reconf", "pa.phase8.floorplan", "floorplan.solve",
+	} {
+		if count[want] == 0 {
+			t.Errorf("PA trace is missing span %q (got %v)", want, count)
+		}
+	}
+	if snap.Counters["floorplan.calls"] < 1 {
+		t.Errorf("PA trace recorded %d floorplan.calls, want >= 1", snap.Counters["floorplan.calls"])
+	}
+	// Hierarchy: every span except the roots must have a parent, and the
+	// phase spans must sit under an attempt.
+	for _, sp := range snap.Spans {
+		if sp.Name == "pa.phase3.regions" {
+			if sp.Parent < 0 || snap.Spans[sp.Parent].Name != "pa.attempt" {
+				t.Errorf("phase span %q not nested under pa.attempt", sp.Name)
+			}
+		}
+	}
+
+	// The PA-R trace must tag every iteration with an outcome.
+	rsnap := rOpts.Trace.Snapshot()
+	iters := 0
+	for _, sp := range rsnap.Spans {
+		if sp.Name != "par.iteration" {
+			continue
+		}
+		iters++
+		outcome := ""
+		for _, arg := range sp.Args {
+			if arg.Key == "outcome" {
+				outcome, _ = arg.Val.(string)
+			}
+		}
+		switch outcome {
+		case "improved", "not-improving", "infeasible":
+		default:
+			t.Errorf("par.iteration span carries outcome %q, want improved/not-improving/infeasible", outcome)
+		}
+	}
+	if iters != 40 {
+		t.Errorf("PA-R trace recorded %d iteration spans, want 40", iters)
+	}
+
+	// The IS-1 trace must carry window spans matching the counter.
+	isnap := iskTrace.Snapshot()
+	windows := 0
+	for _, sp := range isnap.Spans {
+		if sp.Name == "isk.window" {
+			windows++
+		}
+	}
+	if windows == 0 || int64(windows) != isnap.Counters["isk.windows"] {
+		t.Errorf("IS-1 trace has %d window spans but counter says %d",
+			windows, isnap.Counters["isk.windows"])
+	}
+}
