@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet bench bench-all
+.PHONY: verify fmt-check vet build test race reschedvet bench bench-all fuzz
 
 verify: fmt-check vet build race reschedvet
 	@echo "verify: all gates passed"
@@ -30,6 +30,13 @@ race:
 
 reschedvet:
 	$(GO) run ./cmd/reschedvet ./...
+
+# fuzz runs each native fuzz target for a short budget. The checked-in seed
+# corpora under testdata/fuzz also execute during the plain test suite, so
+# regressions on known inputs are caught without this target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoadGraphJSON -fuzztime 10s ./internal/taskgraph
+	$(GO) test -run '^$$' -fuzz FuzzCheckSchedule -fuzztime 10s ./internal/schedule
 
 # bench runs the Table I suite and records it as structured JSON, the file
 # successive PRs diff to track scheduler performance over time.

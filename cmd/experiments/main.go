@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"resched/internal/budget"
 	"resched/internal/experiments"
 	"resched/internal/obs"
 )
@@ -43,6 +44,8 @@ func run() error {
 		seed        = flag.Int64("seed", 2016, "benchmark suite seed")
 		fig6Budget  = flag.Duration("fig6-budget", 5*time.Second, "PA-R budget per Fig. 6 instance")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the suite evaluation; on exhaustion the run stops early and reports the completed instances (0 = unlimited)")
+		robust      = flag.Bool("robust", false, "additionally run the degradation ladder per instance and report the rung distribution")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 		metricsPath = flag.String("metrics", "", "write flat counters and span aggregates as JSON")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof)")
@@ -70,7 +73,10 @@ func run() error {
 		trace = obs.New()
 	}
 
-	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true, Trace: trace}
+	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true, Trace: trace, Robust: *robust}
+	if *timeout > 0 {
+		cfg.Budget = budget.New(budget.Options{Timeout: *timeout})
+	}
 	want := strings.ToLower(*exp)
 	needSuite := want != "fig6" && want != "contention" && want != "parallelism" && want != "optgap"
 
@@ -88,7 +94,21 @@ func run() error {
 			fmt.Fprintln(os.Stderr)
 		}
 		if err != nil {
-			return err
+			if len(results) == 0 {
+				return err
+			}
+			// Budget exhausted mid-suite: aggregate what completed.
+			fmt.Fprintf(os.Stderr, "warning: %v; reporting %d completed instances\n", err, len(results))
+		}
+		if *robust {
+			rungs := map[string]int{}
+			for _, r := range results {
+				if r.Robust != nil && r.Robust.Err == nil {
+					rungs[r.Robust.Rung.String()]++
+				}
+			}
+			fmt.Printf("robust ladder rungs: full=%d retried=%d randomized=%d software-only=%d\n\n",
+				rungs["full"], rungs["retried"], rungs["randomized"], rungs["software-only"])
 		}
 	}
 

@@ -25,7 +25,10 @@ func main() {
 	flag.Parse()
 
 	if *single > 0 {
-		g := benchgen.Generate(benchgen.Config{Tasks: *single, Seed: *seed})
+		g, err := benchgen.Generate(benchgen.Config{Tasks: *single, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
 		if err := g.Write(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -35,7 +38,10 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	suite := benchgen.Suite(*seed)
+	suite, err := benchgen.Suite(*seed)
+	if err != nil {
+		fatal(err)
+	}
 	for _, e := range suite {
 		name := filepath.Join(*outDir, fmt.Sprintf("tg_n%03d_%02d.json", e.Group, e.Index))
 		f, err := os.Create(name)

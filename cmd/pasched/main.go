@@ -4,17 +4,29 @@
 //
 // Usage:
 //
-//	pasched -graph app.json [-algo pa|par|is1|is5] [-budget 2s]
+//	pasched -graph app.json [-algo pa|par|is1|is5|robust] [-budget 2s]
 //	        [-reuse] [-gantt] [-dot out.dot] [-seed 7]
+//	        [-timeout 0] [-maxnodes 0]
+//	        [-fault-floorplan-infeasible N] [-fault-milp-limit N]
 //	        [-trace trace.json] [-metrics metrics.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -trace the run is recorded as a Chrome trace-event file (open it in
 // Perfetto or chrome://tracing); -metrics writes the flat counters/span
 // aggregates as JSON and prints a span summary table to stderr.
+//
+// -robust (equivalently -algo robust) runs the degradation ladder
+// (PA → PA-R → all-software) and reports which rung produced the schedule.
+// -timeout and -maxnodes bound the whole run through the unified budget;
+// the -fault-* flags deterministically inject solver failures, which is how
+// the resilience paths are exercised from the command line.
+//
+// Exit codes: 0 success, 1 generic failure, 2 usage, 3 no floorplan-
+// feasible schedule, 4 budget exhausted, 5 no all-software fallback.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +35,8 @@ import (
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/isk"
 	"resched/internal/obs"
 	"resched/internal/sched"
@@ -34,8 +48,22 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "pasched:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps the typed failure classes of the resilience layer onto
+// distinct exit codes so scripts can react without parsing stderr.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, sched.ErrNoSoftwareFallback):
+		return 5
+	case errors.Is(err, sched.ErrBudgetExhausted):
+		return 4
+	case errors.Is(err, sched.ErrFloorplanInfeasible):
+		return 3
+	}
+	return 1
 }
 
 // run holds the whole command so error returns unwind through the deferred
@@ -44,7 +72,7 @@ func run() error {
 	var (
 		graphPath   = flag.String("graph", "", "task-graph JSON file (required)")
 		algo        = flag.String("algo", "pa", "scheduler: pa, par, is1 or is5")
-		budget      = flag.Duration("budget", 2*time.Second, "PA-R time budget")
+		parBudget   = flag.Duration("budget", 2*time.Second, "PA-R time budget")
 		seed        = flag.Int64("seed", 1, "PA-R random seed")
 		reuse       = flag.Bool("reuse", false, "enable module reuse")
 		gantt       = flag.Bool("gantt", false, "print a textual Gantt chart")
@@ -58,8 +86,17 @@ func run() error {
 		metricsPath = flag.String("metrics", "", "write flat counters and span aggregates as JSON")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (runtime/pprof)")
+
+		robust   = flag.Bool("robust", false, "run the degradation ladder (equivalent to -algo robust)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+		maxNodes = flag.Int64("maxnodes", 0, "search-node budget across all solves (0 = unlimited)")
+		faultFP  = flag.Int("fault-floorplan-infeasible", 0, "inject: force the next N floorplan solves infeasible (-1 = all)")
+		faultML  = flag.Int("fault-milp-limit", 0, "inject: force the next N MILP solves to stop at their limit (-1 = all)")
 	)
 	flag.Parse()
+	if *robust {
+		*algo = "robust"
+	}
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -111,6 +148,23 @@ func run() error {
 		trace = obs.New()
 	}
 
+	// The unified budget and fault set thread through every scheduler layer;
+	// both stay nil (= unlimited / no faults) unless requested.
+	var bud *budget.Budget
+	if *timeout > 0 || *maxNodes > 0 {
+		bud = budget.New(budget.Options{Timeout: *timeout, MaxNodes: *maxNodes})
+	}
+	var faults *faultinject.Set
+	if *faultFP != 0 || *faultML != 0 {
+		faults = faultinject.New()
+		if *faultFP != 0 {
+			faults.ForceFloorplanInfeasible(*faultFP)
+		}
+		if *faultML != 0 {
+			faults.ForceMILPLimit(*faultML)
+		}
+	}
+
 	a := arch.ZedBoard()
 	var sch *schedule.Schedule
 	report := struct {
@@ -121,7 +175,7 @@ func run() error {
 	switch *algo {
 	case "pa":
 		var paStats *sched.Stats
-		sch, paStats, err = sched.Schedule(g, a, sched.Options{ModuleReuse: *reuse, Trace: trace})
+		sch, paStats, err = sched.Schedule(g, a, sched.Options{ModuleReuse: *reuse, Trace: trace, Budget: bud, Faults: faults})
 		if err == nil {
 			report.scheduling = paStats.SchedulingTime
 			report.floorplanning = paStats.FloorplanTime
@@ -131,7 +185,8 @@ func run() error {
 	case "par":
 		var parStats *sched.RandomStats
 		sch, parStats, err = sched.RSchedule(g, a, sched.RandomOptions{
-			TimeBudget: *budget, Seed: *seed, ModuleReuse: *reuse, Trace: trace,
+			TimeBudget: *parBudget, Seed: *seed, ModuleReuse: *reuse, Trace: trace,
+			Budget: bud, Faults: faults,
 		})
 		if err == nil {
 			report.scheduling = parStats.SchedulingTime
@@ -147,13 +202,32 @@ func run() error {
 			k = 5
 		}
 		var iskStats *isk.Stats
-		sch, iskStats, err = isk.Schedule(g, a, isk.Options{K: k, ModuleReuse: *reuse, Trace: trace})
+		sch, iskStats, err = isk.Schedule(g, a, isk.Options{K: k, ModuleReuse: *reuse, Trace: trace, Budget: bud, Faults: faults})
 		if err == nil {
 			report.scheduling = iskStats.SchedulingTime
 			report.floorplanning = iskStats.FloorplanTime
 			report.retries = iskStats.Retries
 			report.iterations = iskStats.Windows
 			fmt.Printf("windows %d, nodes %d\n", iskStats.Windows, iskStats.Nodes)
+		}
+	case "robust":
+		var res *sched.Result
+		res, err = sched.Robust(g, a, sched.RobustOptions{
+			ModuleReuse: *reuse, RandomTime: *parBudget, RandomSeed: *seed,
+			Budget: bud, Faults: faults, Trace: trace,
+		})
+		if err == nil {
+			sch = res.Schedule
+			fmt.Printf("rung: %s\n", res.Rung)
+			if s := res.ReasonSummary(); s != "" {
+				fmt.Printf("degraded: %s\n", s)
+			}
+			if res.Stats != nil {
+				report.scheduling = res.Stats.SchedulingTime
+				report.floorplanning = res.Stats.FloorplanTime
+				report.retries = res.Stats.Retries
+				report.iterations = res.Stats.Attempts
+			}
 		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)

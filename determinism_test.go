@@ -17,7 +17,7 @@ import (
 // The IS-k comparisons and the convergence experiments of EXPERIMENTS.md
 // are meaningless without this property.
 func TestSchedulerDeterminism(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 50, Seed: 424242})
+	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
 	a := arch.ZedBoard()
 
 	runPA := func() *schedule.Schedule {

@@ -16,7 +16,10 @@ import (
 )
 
 func main() {
-	g := benchgen.Generate(benchgen.Config{Tasks: 60, Seed: 2016})
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 60, Seed: 2016})
+	if err != nil {
+		log.Fatal(err)
+	}
 	a := arch.ZedBoard()
 
 	budget := 3 * time.Second

@@ -51,16 +51,16 @@ func main() {
 	encode := stage(g, "encode", 6200, 900, 1900, 20, 16)
 	stats := stage(g, "stats", 900, 260, 400, 2, 4)
 
-	g.MustEdge(capture.ID, demosaic.ID)
-	g.MustEdge(demosaic.ID, denoise.ID)
-	g.MustEdge(demosaic.ID, luma.ID)
-	g.MustEdge(luma.ID, corners.ID)
-	g.MustEdge(luma.ID, edges.ID)
-	g.MustEdge(corners.ID, fuse.ID)
-	g.MustEdge(edges.ID, fuse.ID)
-	g.MustEdge(denoise.ID, encode.ID)
-	g.MustEdge(fuse.ID, encode.ID)
-	g.MustEdge(luma.ID, stats.ID)
+	mustEdge(g, capture.ID, demosaic.ID)
+	mustEdge(g, demosaic.ID, denoise.ID)
+	mustEdge(g, demosaic.ID, luma.ID)
+	mustEdge(g, luma.ID, corners.ID)
+	mustEdge(g, luma.ID, edges.ID)
+	mustEdge(g, corners.ID, fuse.ID)
+	mustEdge(g, edges.ID, fuse.ID)
+	mustEdge(g, denoise.ID, encode.ID)
+	mustEdge(g, fuse.ID, encode.ID)
+	mustEdge(g, luma.ID, stats.ID)
 	if err := g.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -102,5 +102,13 @@ func main() {
 	fmt.Printf("floorplan for PA's regions (%d placements):\n", len(paStats.Placements))
 	for i, p := range paStats.Placements {
 		fmt.Printf("  region %d: %v at %v\n", i, pa.Regions[i].Res, p)
+	}
+}
+
+// mustEdge adds a dependency, exiting on the (impossible for these literal
+// graphs) construction error instead of panicking.
+func mustEdge(g *taskgraph.Graph, from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
+		log.Fatal(err)
 	}
 }

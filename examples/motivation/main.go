@@ -37,8 +37,8 @@ func buildGraph() *taskgraph.Graph {
 		taskgraph.Implementation{Name: "t3_sw", Kind: taskgraph.SW, Time: 100000},
 		taskgraph.Implementation{Name: "t3_hw", Kind: taskgraph.HW, Time: 400, Res: resources.Vec(500, 0, 0)},
 	)
-	g.MustEdge(0, 1)
-	g.MustEdge(0, 2)
+	mustEdge(g, 0, 1)
+	mustEdge(g, 0, 2)
 	return g
 }
 
@@ -77,4 +77,12 @@ func main() {
 	fmt.Println("PA's resource-efficient choice for t1 frees device area for the")
 	fmt.Println("dependent tasks; the greedy baseline's locally-fastest choice")
 	fmt.Println("forces them into software (§IV of the paper).")
+}
+
+// mustEdge adds a dependency, exiting on the (impossible for these literal
+// graphs) construction error instead of panicking.
+func mustEdge(g *taskgraph.Graph, from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
+		log.Fatal(err)
+	}
 }

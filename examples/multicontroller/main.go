@@ -20,7 +20,10 @@ import (
 func main() {
 	// A contended 30-task instance: many region time-shares, so the
 	// reconfiguration controller is a real bottleneck.
-	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 77})
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, controllers := range []int{1, 2} {
 		a := arch.ZedBoard()

@@ -37,10 +37,10 @@ func main() {
 		taskgraph.Implementation{Name: "store_sw", Kind: taskgraph.SW, Time: 600},
 		taskgraph.Implementation{Name: "store_hw", Kind: taskgraph.HW, Time: 250, Res: resources.Vec(300, 6, 0)},
 	)
-	g.MustEdge(load.ID, filter.ID)
-	g.MustEdge(load.ID, transform.ID)
-	g.MustEdge(filter.ID, store.ID)
-	g.MustEdge(transform.ID, store.ID)
+	mustEdge(g, load.ID, filter.ID)
+	mustEdge(g, load.ID, transform.ID)
+	mustEdge(g, filter.ID, store.ID)
+	mustEdge(g, transform.ID, store.ID)
 
 	// Schedule on the paper's evaluation platform: a ZedBoard (dual-core
 	// ARM + XC7Z020 FPGA). PA also floorplans the resulting regions.
@@ -60,6 +60,14 @@ func main() {
 	}
 	fmt.Printf("floorplan: %d regions placed (search took %v)\n\n", len(stats.Placements), stats.FloorplanTime)
 	if err := sch.WriteGantt(os.Stdout, 80); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// mustEdge adds a dependency, exiting on the (impossible for these literal
+// graphs) construction error instead of panicking.
+func mustEdge(g *taskgraph.Graph, from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
 		log.Fatal(err)
 	}
 }

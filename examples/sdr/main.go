@@ -38,11 +38,11 @@ func channel(g *taskgraph.Graph, src *taskgraph.Task) *taskgraph.Task {
 	fft := dsp(g, "fft", 4400, 520, 1300, 18, 32)
 	demod := dsp(g, "demod", 2100, 340, 700, 2, 12)
 	decode := dsp(g, "decode", 3600, 600, 1500, 10, 8)
-	g.MustEdge(src.ID, ddc.ID)
-	g.MustEdge(ddc.ID, fir.ID)
-	g.MustEdge(fir.ID, fft.ID)
-	g.MustEdge(fft.ID, demod.ID)
-	g.MustEdge(demod.ID, decode.ID)
+	mustEdge(g, src.ID, ddc.ID)
+	mustEdge(g, ddc.ID, fir.ID)
+	mustEdge(g, fir.ID, fft.ID)
+	mustEdge(g, fft.ID, demod.ID)
+	mustEdge(g, demod.ID, decode.ID)
 	return decode
 }
 
@@ -54,8 +54,8 @@ func main() {
 	d2 := channel(g, acquire)
 	sink := g.AddTask("combine",
 		taskgraph.Implementation{Name: "combine_sw", Kind: taskgraph.SW, Time: 700})
-	g.MustEdge(d1.ID, sink.ID)
-	g.MustEdge(d2.ID, sink.ID)
+	mustEdge(g, d1.ID, sink.ID)
+	mustEdge(g, d2.ID, sink.ID)
 	if err := g.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -82,6 +82,14 @@ func main() {
 	fmt.Println()
 	fmt.Println(sch.Summary())
 	if err := sch.WriteGantt(os.Stdout, 90); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// mustEdge adds a dependency, exiting on the (impossible for these literal
+// graphs) construction error instead of panicking.
+func mustEdge(g *taskgraph.Graph, from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
 		log.Fatal(err)
 	}
 }

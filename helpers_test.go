@@ -1,0 +1,19 @@
+package repro
+
+import (
+	"testing"
+
+	"resched/internal/benchgen"
+	"resched/internal/taskgraph"
+)
+
+// genGraph generates a benchmark graph or fails the test; the generator no
+// longer panics on construction errors.
+func genGraph(tb testing.TB, cfg benchgen.Config) *taskgraph.Graph {
+	tb.Helper()
+	g, err := benchgen.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}

@@ -46,7 +46,7 @@ func TestEndToEndAllSchedulers(t *testing.T) {
 	}
 	for _, pl := range platforms {
 		for _, cfg := range configs {
-			g := benchgen.Generate(cfg)
+			g := genGraph(t, cfg)
 			name := fmt.Sprintf("%s/n%d-s%d", pl.name, cfg.Tasks, cfg.Seed)
 			t.Run(name, func(t *testing.T) {
 				type run struct {
@@ -124,7 +124,7 @@ func TestEndToEndAllSchedulers(t *testing.T) {
 // TestBudgetedSearchImproves verifies the anytime property end to end: on a
 // contended instance, a longer PA-R budget never yields a worse result.
 func TestBudgetedSearchImproves(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 40, Seed: 4040})
+	g := genGraph(t, benchgen.Config{Tasks: 40, Seed: 4040})
 	a := arch.ZedBoard()
 	short, _, err := sched.RSchedule(g, a, sched.RandomOptions{MaxIterations: 3, Seed: 5})
 	if err != nil {
@@ -142,7 +142,7 @@ func TestBudgetedSearchImproves(t *testing.T) {
 // TestTimeBudgetRoughlyHonoured checks PA-R's wall-clock budget handling at
 // the integration level.
 func TestTimeBudgetRoughlyHonoured(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 50, Seed: 51})
+	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 51})
 	a := arch.ZedBoard()
 	start := time.Now()
 	_, stats, err := sched.RSchedule(g, a, sched.RandomOptions{TimeBudget: 150 * time.Millisecond, Seed: 1})

@@ -79,6 +79,7 @@ func All() []*Analyzer {
 		FloatEq,
 		SortStable,
 		ErrDrop,
+		RawClock,
 	}
 }
 

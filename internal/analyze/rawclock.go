@@ -1,0 +1,79 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RawClock flags wall-clock deadline checks written against time.Now()
+// directly: calls like now.After(deadline) / deadline.Before(time.Now())
+// and ordered comparisons whose operands read time.Now() or time.Since(...).
+// Three divergent deadline idioms once coexisted in the solvers; they are
+// unified in internal/budget, which is the only package allowed to compare
+// the clock to a limit (and the only one that honours injected test clocks
+// and shared cancellation). Everything else must thread a *budget.Budget.
+//
+// Pure elapsed-time *measurement* — time.Since into a stats field, the obs
+// package's monotonic span clock — never compares, so it is not flagged.
+var RawClock = &Analyzer{
+	Name: "rawclock",
+	Doc:  "wall-clock deadline comparisons belong in internal/budget",
+	Run:  runRawClock,
+}
+
+// budgetPkgPath is the sanctioned home of clock-versus-deadline logic.
+const budgetPkgPath = "resched/internal/budget"
+
+func runRawClock(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Path() == budgetPkgPath {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "After" && sel.Sel.Name != "Before") || len(n.Args) != 1 {
+					return true
+				}
+				// Methods named After/Before with a clock read on either
+				// side; the time.Time receiver check is implicit in the
+				// operands actually containing time.Now()/time.Since().
+				if readsClock(pass.Info, sel.X) || readsClock(pass.Info, n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"deadline comparison against the raw wall clock; thread a *budget.Budget instead (internal/budget is the only package that may compare time.Now() to a limit)")
+				}
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				default:
+					return true
+				}
+				if readsClock(pass.Info, n.X) || readsClock(pass.Info, n.Y) {
+					pass.Reportf(n.OpPos,
+						"ordered comparison on a raw wall-clock read; thread a *budget.Budget instead (internal/budget is the only package that may compare time.Now() to a limit)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// readsClock reports whether the expression subtree contains a call to
+// time.Now or time.Since.
+func readsClock(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := qualifiedCall(info, call, "time"); ok && (name == "Now" || name == "Since") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,49 @@
+// Package fixture seeds rawclock violations and their sanctioned fixes.
+package fixture
+
+import "time"
+
+type budgetLike struct{ deadline time.Time }
+
+func (b *budgetLike) check() error { return nil }
+
+func badNowAfter(deadline time.Time) bool {
+	return time.Now().After(deadline) // want "deadline comparison"
+}
+
+func badDeadlineBefore(deadline time.Time) bool {
+	return deadline.Before(time.Now()) // want "deadline comparison"
+}
+
+func badNotBefore(deadline time.Time) bool {
+	return !time.Now().Before(deadline) // want "deadline comparison"
+}
+
+func badSinceCompare(start time.Time, limit time.Duration) bool {
+	return time.Since(start) > limit // want "ordered comparison"
+}
+
+func badDerivedNow(deadline time.Time) bool {
+	return time.Now().Add(time.Second).After(deadline) // want "deadline comparison"
+}
+
+func goodBudgetCheck(b *budgetLike) error {
+	// The sanctioned form: route the limit through a budget and poll it.
+	return b.check()
+}
+
+func goodElapsedMeasurement(start time.Time) time.Duration {
+	// Measuring elapsed time without comparing it is fine — the solvers'
+	// stats fields and the obs monotonic span clock do exactly this.
+	return time.Since(start)
+}
+
+func goodDeadlineVsDeadline(a, b time.Time) bool {
+	// Comparing two precomputed instants reads no clock.
+	return a.Before(b)
+}
+
+func goodSuppressed(deadline time.Time) bool {
+	//reschedvet:ignore rawclock demonstration of the escape hatch
+	return time.Now().After(deadline)
+}

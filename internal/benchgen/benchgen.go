@@ -47,8 +47,10 @@ type moduleType struct {
 	impls []taskgraph.Implementation
 }
 
-// Generate builds one pseudo-random task graph.
-func Generate(cfg Config) *taskgraph.Graph {
+// Generate builds one pseudo-random task graph. It fails only on a config
+// the recipe cannot realise (e.g. a negative CommMax would, but is treated
+// as zero); the error return exists so library callers never see a panic.
+func Generate(cfg Config) (*taskgraph.Graph, error) {
 	if cfg.Tasks <= 0 {
 		cfg.Tasks = 10
 	}
@@ -111,9 +113,10 @@ func Generate(cfg Config) *taskgraph.Graph {
 				}
 				return rng.Int63n(cfg.CommMax + 1)
 			}
+			var edgeErr error
 			addEdge := func(from int) {
-				if err := g.AddEdgeComm(from, t, comm()); err != nil {
-					panic(err) // construction always yields valid endpoints
+				if err := g.AddEdgeComm(from, t, comm()); err != nil && edgeErr == nil {
+					edgeErr = fmt.Errorf("benchgen: %w", err)
 				}
 			}
 			linked := false
@@ -133,9 +136,12 @@ func Generate(cfg Config) *taskgraph.Graph {
 					addEdge(byLayer[ll][rng.Intn(len(byLayer[ll]))])
 				}
 			}
+			if edgeErr != nil {
+				return nil, edgeErr
+			}
 		}
 	}
-	return g
+	return g, nil
 }
 
 // makeType builds one module type: three hardware implementations trading
@@ -194,7 +200,7 @@ type SuiteEntry struct {
 
 // Suite generates the full §VII-A evaluation suite: 10 groups × 10 graphs,
 // group g holding graphs of 10·(g+1) tasks.
-func Suite(seed int64) []SuiteEntry {
+func Suite(seed int64) ([]SuiteEntry, error) {
 	var out []SuiteEntry
 	for group := 1; group <= 10; group++ {
 		for idx := 0; idx < 10; idx++ {
@@ -202,14 +208,18 @@ func Suite(seed int64) []SuiteEntry {
 				Tasks: 10 * group,
 				Seed:  seed + int64(group*1000+idx),
 			}
+			g, err := Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, SuiteEntry{
 				Group: 10 * group,
 				Index: idx,
-				Graph: Generate(cfg),
+				Graph: g,
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Groups lists the distinct task counts of a suite in ascending order.

@@ -1,12 +1,14 @@
 package benchgen
 
 import (
+	"resched/internal/taskgraph"
+
 	"testing"
 )
 
 func TestGenerateValid(t *testing.T) {
 	for _, n := range []int{1, 5, 10, 50, 100} {
-		g := Generate(Config{Tasks: n, Seed: 42})
+		g := gen(t, Config{Tasks: n, Seed: 42})
 		if g.N() != n {
 			t.Fatalf("n=%d: got %d tasks", n, g.N())
 		}
@@ -17,8 +19,8 @@ func TestGenerateValid(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(Config{Tasks: 30, Seed: 7})
-	b := Generate(Config{Tasks: 30, Seed: 7})
+	a := gen(t, Config{Tasks: 30, Seed: 7})
+	b := gen(t, Config{Tasks: 30, Seed: 7})
 	if a.N() != b.N() || len(a.Edges()) != len(b.Edges()) {
 		t.Fatal("same seed, different shape")
 	}
@@ -35,7 +37,7 @@ func TestGenerateDeterministic(t *testing.T) {
 			}
 		}
 	}
-	c := Generate(Config{Tasks: 30, Seed: 8})
+	c := gen(t, Config{Tasks: 30, Seed: 8})
 	if len(c.Edges()) == len(a.Edges()) {
 		same := true
 		ce := c.Edges()
@@ -52,7 +54,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestImplementationMenu(t *testing.T) {
-	g := Generate(Config{Tasks: 40, Seed: 3})
+	g := gen(t, Config{Tasks: 40, Seed: 3})
 	for _, task := range g.Tasks {
 		if len(task.Impls) != 4 {
 			t.Fatalf("task %d has %d impls, want 4 (1 SW + 3 HW)", task.ID, len(task.Impls))
@@ -80,7 +82,7 @@ func TestImplementationMenu(t *testing.T) {
 }
 
 func TestSharedImplementations(t *testing.T) {
-	g := Generate(Config{Tasks: 60, Seed: 5})
+	g := gen(t, Config{Tasks: 60, Seed: 5})
 	names := map[string][]int{}
 	for _, task := range g.Tasks {
 		for _, i := range task.HWImpls() {
@@ -99,7 +101,7 @@ func TestSharedImplementations(t *testing.T) {
 }
 
 func TestConnectivity(t *testing.T) {
-	g := Generate(Config{Tasks: 50, Seed: 11})
+	g := gen(t, Config{Tasks: 50, Seed: 11})
 	// Every non-source task has a predecessor by construction.
 	depth, err := g.Depth()
 	if err != nil {
@@ -121,7 +123,7 @@ func TestConnectivity(t *testing.T) {
 }
 
 func TestSuiteShape(t *testing.T) {
-	suite := Suite(2016)
+	suite := mustSuite(t, 2016)
 	if len(suite) != 100 {
 		t.Fatalf("suite has %d entries, want 100", len(suite))
 	}
@@ -153,11 +155,31 @@ func TestSuiteShape(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	g := Generate(Config{})
+	g := gen(t, Config{})
 	if g.N() != 10 {
 		t.Errorf("default Tasks = %d, want 10", g.N())
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// gen generates a graph or fails the test.
+func gen(tb testing.TB, cfg Config) *taskgraph.Graph {
+	tb.Helper()
+	g, err := Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// mustSuite generates the evaluation suite or fails the test.
+func mustSuite(tb testing.TB, seed int64) []SuiteEntry {
+	tb.Helper()
+	suite, err := Suite(seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return suite
 }

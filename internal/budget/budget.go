@@ -1,0 +1,267 @@
+// Package budget unifies the resource limits of the scheduling pipeline —
+// wall-clock deadlines, search-node caps and cooperative cancellation —
+// behind a single Budget type threaded through milp.Options,
+// floorplan.Options, sched.Options/RandomOptions and isk.Options.
+//
+// Before this package each solver rolled its own deadline idiom with direct
+// time.Now() comparisons; the reschedvet rawclock analyzer now rejects that
+// pattern everywhere except here, so this package is the only place in the
+// module that may compare the wall clock against a deadline.
+//
+// A nil *Budget is a valid receiver for every method and means "unlimited"
+// (the obs idiom), so hot paths charge unconditionally:
+//
+//	if err := opt.Budget.Charge(1); err != nil {
+//		return abort(err) // cancelled, deadline passed, or node cap hit
+//	}
+//
+// Charge is designed for branch-and-bound inner loops: the cancellation
+// flag and node cap are checked on every call (a couple of atomic loads),
+// while the clock — the only expensive part — is consulted once every
+// clockStride charges under the real clock and on every charge under an
+// injected test clock, so a Cancel lands within microseconds and a deadline
+// within a few hundred nodes.
+//
+// Budgets form a tree: WithTimeout derives a child with a tighter deadline
+// that shares the parent's cancellation flag and node accounting, which is
+// how PA-R's per-call TimeBudget nests inside an overall pipeline budget.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the current time. Production budgets use time.Now; tests
+// inject a manual clock (see internal/faultinject) so deadline behaviour is
+// deterministic and instantaneous.
+type Clock func() time.Time
+
+// clockStride is how many Charge calls share one real-clock read. 64 keeps
+// the amortised cost of a charge at a few atomic operations while bounding
+// deadline-detection latency to well under a millisecond of search.
+const clockStride = 64
+
+// Reason classifies why a budget tripped.
+type Reason int
+
+const (
+	// Cancelled means Cancel was called on the budget or an ancestor.
+	Cancelled Reason = iota + 1
+	// DeadlinePassed means the wall-clock deadline was reached.
+	DeadlinePassed
+	// NodeCapReached means the cumulative node cap was exhausted.
+	NodeCapReached
+)
+
+// String names the reason for error messages and span tags.
+func (r Reason) String() string {
+	switch r {
+	case Cancelled:
+		return "cancelled"
+	case DeadlinePassed:
+		return "deadline passed"
+	case NodeCapReached:
+		return "node cap reached"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// ErrExhausted is the umbrella sentinel: every budget failure matches it
+// via errors.Is, regardless of the specific Reason.
+var ErrExhausted = errors.New("budget exhausted")
+
+// Error is the typed budget failure. errors.Is(err, ErrExhausted) matches
+// any budget error; errors.Is(err, ErrCancelled) (or ErrDeadline,
+// ErrNodeCap) matches the specific reason.
+type Error struct {
+	Reason Reason
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return "budget: " + e.Reason.String() }
+
+// Is makes every *Error match ErrExhausted and any *Error with the same
+// Reason, so callers can test for either the class or the cause.
+func (e *Error) Is(target error) bool {
+	if target == ErrExhausted {
+		return true
+	}
+	t, ok := target.(*Error)
+	return ok && t.Reason == e.Reason
+}
+
+// Canonical instances for use as errors.Is targets.
+var (
+	ErrCancelled = &Error{Reason: Cancelled}
+	ErrDeadline  = &Error{Reason: DeadlinePassed}
+	ErrNodeCap   = &Error{Reason: NodeCapReached}
+)
+
+// Options configure a new budget. The zero value means unlimited.
+type Options struct {
+	// Timeout is the wall-clock allowance from creation; 0 means none.
+	Timeout time.Duration
+	// Deadline is an absolute cut-off; the zero time means none. When both
+	// Timeout and Deadline are set the earlier instant wins.
+	Deadline time.Time
+	// MaxNodes caps the cumulative search nodes charged across every solver
+	// sharing this budget (and its WithTimeout children); 0 means none.
+	MaxNodes int64
+	// Clock overrides the time source. Nil means time.Now. Injected clocks
+	// are consulted on every Charge (no striding) so fake-clock tests see
+	// deadline trips at the exact node where the clock advanced.
+	Clock Clock
+}
+
+// shared is the state common to a budget and all WithTimeout children:
+// cancellation and node accounting propagate across the whole tree.
+type shared struct {
+	cancelled atomic.Bool
+	nodes     atomic.Int64
+	ticks     atomic.Int64 // Charge calls since the last clock read
+}
+
+// Budget tracks one pipeline's resource allowance. Construct with New (or
+// WithTimeout on an existing budget); a nil *Budget is valid and unlimited.
+// All methods are safe for concurrent use — Cancel is expected to arrive
+// from another goroutine.
+type Budget struct {
+	s        *shared
+	clock    Clock
+	deadline time.Time // zero means no deadline
+	maxNodes int64     // 0 means no cap
+	strided  bool      // real clock: read it every clockStride charges only
+}
+
+// New builds a budget from opt.
+func New(opt Options) *Budget {
+	b := &Budget{
+		s:        &shared{},
+		clock:    opt.Clock,
+		maxNodes: opt.MaxNodes,
+		strided:  opt.Clock == nil,
+	}
+	if b.clock == nil {
+		b.clock = time.Now
+	}
+	b.deadline = opt.Deadline
+	if opt.Timeout > 0 {
+		d := b.clock().Add(opt.Timeout)
+		if b.deadline.IsZero() || d.Before(b.deadline) {
+			b.deadline = d
+		}
+	}
+	return b
+}
+
+// WithTimeout derives a child budget whose deadline is at most d from now,
+// sharing the receiver's cancellation flag, node accounting and clock: a
+// Cancel on either side stops both, and nodes charged to the child count
+// against the parent's cap. A non-positive d leaves the deadline unchanged.
+// On a nil receiver it is equivalent to New(Options{Timeout: d}).
+func (b *Budget) WithTimeout(d time.Duration) *Budget {
+	if b == nil {
+		if d <= 0 {
+			return nil
+		}
+		return New(Options{Timeout: d})
+	}
+	child := *b
+	if d > 0 {
+		dl := b.clock().Add(d)
+		if child.deadline.IsZero() || dl.Before(child.deadline) {
+			child.deadline = dl
+		}
+	}
+	return &child
+}
+
+// Cancel trips the budget (and every budget sharing its state): the next
+// Charge or Check returns ErrCancelled. Idempotent and safe from any
+// goroutine; this is the cooperative-cancellation entry point.
+func (b *Budget) Cancel() {
+	if b == nil {
+		return
+	}
+	b.s.cancelled.Store(true)
+}
+
+// Cancelled reports whether Cancel has been called.
+func (b *Budget) Cancelled() bool {
+	return b != nil && b.s.cancelled.Load()
+}
+
+// Nodes returns the cumulative nodes charged so far across the budget tree.
+func (b *Budget) Nodes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.s.nodes.Load()
+}
+
+// Deadline returns the effective deadline and whether one is set.
+func (b *Budget) Deadline() (time.Time, bool) {
+	if b == nil {
+		return time.Time{}, false
+	}
+	return b.deadline, !b.deadline.IsZero()
+}
+
+// Remaining returns the time left until the deadline (negative once it has
+// passed) and whether a deadline is set at all.
+func (b *Budget) Remaining() (time.Duration, bool) {
+	if b == nil || b.deadline.IsZero() {
+		return 0, false
+	}
+	return b.deadline.Sub(b.clock()), true
+}
+
+// Charge records n search nodes against the budget and reports whether the
+// budget still has headroom. It is the per-node hook for B&B inner loops:
+// cancellation and the node cap are verified on every call; the clock only
+// every clockStride calls under the real clock (every call under an
+// injected one). A nil budget accepts every charge.
+func (b *Budget) Charge(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.s.cancelled.Load() {
+		return ErrCancelled
+	}
+	nodes := b.s.nodes.Add(n)
+	if b.maxNodes > 0 && nodes > b.maxNodes {
+		return ErrNodeCap
+	}
+	if !b.deadline.IsZero() {
+		if b.strided && b.s.ticks.Add(1)%clockStride != 0 {
+			return nil
+		}
+		if !b.clock().Before(b.deadline) {
+			return ErrDeadline
+		}
+	}
+	return nil
+}
+
+// Check verifies the budget without charging nodes, always consulting the
+// clock. Use it at phase and attempt boundaries where the extra clock read
+// is immaterial; inner loops should prefer Charge.
+func (b *Budget) Check() error {
+	if b == nil {
+		return nil
+	}
+	if b.s.cancelled.Load() {
+		return ErrCancelled
+	}
+	if b.maxNodes > 0 && b.s.nodes.Load() >= b.maxNodes {
+		return ErrNodeCap
+	}
+	if !b.deadline.IsZero() && !b.clock().Before(b.deadline) {
+		return ErrDeadline
+	}
+	return nil
+}

@@ -185,8 +185,8 @@ func TestComputeGraph(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.AddTask("t", sw)
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	r, err := ComputeGraph(g, []int64{2, 3, 4})
 	if err != nil {
 		t.Fatal(err)

@@ -21,7 +21,7 @@ func hw(name string, t int64, clb int) taskgraph.Implementation {
 }
 
 func TestRejectsLargeInstances(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 1})
+	g := genGraph(t, benchgen.Config{Tasks: 20, Seed: 1})
 	if _, _, err := Schedule(g, arch.ZedBoard(), Options{}); err == nil {
 		t.Fatal("20-task instance accepted")
 	}
@@ -63,8 +63,8 @@ func TestChainOptimumWithSharing(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.AddTask("t", sw("t_sw", 50000), hw("t_hw", 100, 600))
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	sch, stats, err := Schedule(g, a, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestChainOptimumWithSharing(t *testing.T) {
 func TestHeuristicsNeverBeatExact(t *testing.T) {
 	a := arch.ZedBoard()
 	for seed := int64(0); seed < 6; seed++ {
-		g := benchgen.Generate(benchgen.Config{Tasks: 7, Seed: 2000 + seed})
+		g := genGraph(t, benchgen.Config{Tasks: 7, Seed: 2000 + seed})
 		ex, stats, err := Schedule(g, a, Options{ModuleReuse: true})
 		if err != nil {
 			t.Fatal(err)

@@ -63,7 +63,10 @@ func RunContention(cfg ContentionConfig) ([]ContentionPoint, error) {
 		var paSum, isSum, parSum, impSum, rimpSum float64
 		count := 0
 		for idx := 0; idx < cfg.Instances; idx++ {
-			g := benchgen.Generate(benchgen.Config{Tasks: cfg.Tasks, Seed: cfg.Seed + int64(idx)})
+			g, err := benchgen.Generate(benchgen.Config{Tasks: cfg.Tasks, Seed: cfg.Seed + int64(idx)})
+			if err != nil {
+				return nil, err
+			}
 			// Contention proxy: total fast-HW CLB demand / device CLB.
 			var demand int
 			for _, task := range g.Tasks {

@@ -14,6 +14,8 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/benchgen"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/isk"
 	"resched/internal/obs"
 	"resched/internal/sched"
@@ -41,6 +43,18 @@ type Config struct {
 	MinParBudget time.Duration
 	// Validate re-checks every schedule with the independent checker.
 	Validate bool
+	// Budget, when non-nil, bounds the whole evaluation: it is forwarded
+	// into every scheduler (so a cancel lands mid-search) and checked at
+	// every instance boundary. On exhaustion Run stops early and returns
+	// the instances completed so far alongside an error matching
+	// budget.ErrExhausted.
+	Budget *budget.Budget
+	// Faults, when armed, is forwarded into every scheduler to drive
+	// failure paths deterministically.
+	Faults *faultinject.Set
+	// Robust additionally runs the sched.Robust degradation ladder on each
+	// instance and records which rung fired (InstanceResult.Robust).
+	Robust bool
 	// Trace, when non-nil, records one span per (instance, algorithm) pair
 	// and forwards the trace into every scheduler so their attempt, phase
 	// and window spans land in the same timeline. A nil trace is a no-op.
@@ -69,6 +83,9 @@ type InstanceResult struct {
 	Graph        *taskgraph.Graph
 
 	PA, PAR, IS1, IS5 AlgoResult
+
+	// Robust is recorded only when Config.Robust is set.
+	Robust *RobustResult
 }
 
 // AlgoResult is one algorithm's outcome on one instance.
@@ -86,7 +103,10 @@ type AlgoResult struct {
 // The progress callback (may be nil) is invoked after each instance.
 func Run(cfg Config, progress func(done, total int)) ([]InstanceResult, error) {
 	cfg = cfg.withDefaults()
-	suite := benchgen.Suite(cfg.Seed)
+	suite, err := benchgen.Suite(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	groups := map[int]bool{}
 	for _, g := range cfg.Groups {
 		groups[g] = true
@@ -105,6 +125,12 @@ func Run(cfg Config, progress func(done, total int)) ([]InstanceResult, error) {
 	}
 	var out []InstanceResult
 	for i, e := range selected {
+		if berr := cfg.Budget.Check(); berr != nil {
+			// Early stop: hand back what completed with the typed reason
+			// so callers can aggregate the partial run.
+			return out, fmt.Errorf("experiments: stopped after %d/%d instances: %w",
+				len(out), len(selected), berr)
+		}
 		r, err := runInstance(cfg, e)
 		if err != nil {
 			return nil, err
@@ -137,7 +163,7 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 
 	// PA.
 	t0 := time.Now()
-	pa, paStats, err := sched.Schedule(e.Graph, a, sched.Options{Trace: cfg.Trace})
+	pa, paStats, err := sched.Schedule(e.Graph, a, sched.Options{Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
 	res.PA = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.PA.Makespan = pa.Makespan
@@ -150,7 +176,7 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 
 	// IS-1 (module reuse enabled, §VII-A).
 	t0 = time.Now()
-	is1, is1Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 1, ModuleReuse: true, Trace: cfg.Trace})
+	is1, is1Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 1, ModuleReuse: true, Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
 	res.IS1 = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.IS1.Makespan = is1.Makespan
@@ -163,7 +189,7 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 
 	// IS-5.
 	t0 = time.Now()
-	is5, is5Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 5, ModuleReuse: true, Trace: cfg.Trace})
+	is5, is5Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 5, ModuleReuse: true, Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
 	res.IS5 = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.IS5.Makespan = is5.Makespan
@@ -176,12 +202,12 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 
 	// PA-R with the IS-5-matched budget (§VII-A: "PA-R was assigned a time
 	// budget equal to the time used by IS-5").
-	budget := time.Duration(float64(res.IS5.Total) * cfg.ParBudgetFactor)
-	if budget < cfg.MinParBudget {
-		budget = cfg.MinParBudget
+	parBudget := time.Duration(float64(res.IS5.Total) * cfg.ParBudgetFactor)
+	if parBudget < cfg.MinParBudget {
+		parBudget = cfg.MinParBudget
 	}
 	t0 = time.Now()
-	par, _, err := sched.RSchedule(e.Graph, a, sched.RandomOptions{TimeBudget: budget, Seed: cfg.Seed + int64(e.Group*100+e.Index), Trace: cfg.Trace})
+	par, _, err := sched.RSchedule(e.Graph, a, sched.RandomOptions{TimeBudget: parBudget, Seed: cfg.Seed + int64(e.Group*100+e.Index), Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
 	res.PAR = AlgoResult{Total: time.Since(t0), Err: err}
 	if err == nil {
 		res.PAR.Makespan = par.Makespan
@@ -189,7 +215,39 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 			return res, err
 		}
 	}
+
+	// Degradation ladder, when requested: records which rung fired under
+	// the configured budget and faults. By construction it only errors on
+	// instances no rung can schedule.
+	if cfg.Robust {
+		t0 = time.Now()
+		rres, rerr := sched.Robust(e.Graph, a, sched.RobustOptions{
+			ModuleReuse: true, RandomTime: parBudget,
+			RandomSeed: cfg.Seed + int64(e.Group*100+e.Index),
+			Budget:     cfg.Budget, Faults: cfg.Faults, Trace: cfg.Trace,
+		})
+		rr := &RobustResult{Total: time.Since(t0), Err: rerr}
+		if rerr == nil {
+			rr.Makespan = rres.Schedule.Makespan
+			rr.Rung = rres.Rung
+			rr.Degraded = len(rres.Reasons) > 0
+			if err := check(rres.Schedule); err != nil {
+				return res, err
+			}
+		}
+		res.Robust = rr
+	}
 	return res, nil
+}
+
+// RobustResult is the degradation ladder's outcome on one instance.
+type RobustResult struct {
+	Makespan int64
+	Rung     sched.Rung
+	// Degraded reports that at least one rung above the final one failed.
+	Degraded bool
+	Total    time.Duration
+	Err      error
 }
 
 // GroupStats aggregates one algorithm over one task-count group.

@@ -62,7 +62,10 @@ func RunOptGap(cfg OptGapConfig) ([]OptGapPoint, error) {
 		}
 		pt := OptGapPoint{Tasks: n}
 		for idx := 0; idx < cfg.Instances; idx++ {
-			g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: cfg.Seed + int64(100*n+idx)})
+			g, err := benchgen.Generate(benchgen.Config{Tasks: n, Seed: cfg.Seed + int64(100*n+idx)})
+			if err != nil {
+				return nil, err
+			}
 			ref, stats, err := exact.Schedule(g, a, exact.Options{ModuleReuse: true})
 			if err != nil {
 				return nil, fmt.Errorf("optgap n=%d: exact: %w", n, err)

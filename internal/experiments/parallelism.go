@@ -69,11 +69,14 @@ func RunParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
 		var parSum, isSum, impSum float64
 		count := 0
 		for idx := 0; idx < cfg.Instances; idx++ {
-			g := benchgen.Generate(benchgen.Config{
+			g, err := benchgen.Generate(benchgen.Config{
 				Tasks:  cfg.Tasks,
 				Seed:   cfg.Seed + int64(idx),
 				Layers: layers,
 			})
+			if err != nil {
+				return nil, err
+			}
 			is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true})
 			if err != nil {
 				return nil, fmt.Errorf("parallelism layers=%d: IS-5: %w", layers, err)

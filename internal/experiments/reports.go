@@ -123,7 +123,10 @@ func RunFig6(cfg Config, fcfg Fig6Config) ([]Fig6Point, error) {
 	if len(fcfg.Groups) == 0 {
 		fcfg.Groups = []int{20, 40, 60, 80, 100}
 	}
-	suite := benchgen.Suite(fcfg.Seed)
+	suite, err := benchgen.Suite(fcfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig6Point
 	for _, group := range fcfg.Groups {
 		var entry *benchgen.SuiteEntry

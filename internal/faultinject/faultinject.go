@@ -1,0 +1,189 @@
+// Package faultinject provides deterministic fault hooks for driving the
+// resilience paths of the scheduling pipeline on demand: forcing the next N
+// floorplan solves to report infeasible, forcing MILP solves to stop with a
+// Limit status, and injecting artificial solver latency on a hand-advanced
+// clock. A Set is plugged through milp.Options, floorplan.Options,
+// sched.Options/RandomOptions and isk.Options, so a test (or a pasched
+// -fault-* flag) can exercise every rung of the sched.Robust degradation
+// ladder and every cancellation path without constructing a pathological
+// instance.
+//
+// Every fault is counted, never random: "next 3 solves" means exactly the
+// next 3 solves in the solver's deterministic call order, which keeps
+// fault-injected runs as reproducible as clean ones. A nil *Set is a valid
+// receiver meaning "no faults armed" (the obs idiom), so the hooks are
+// called unconditionally from solver hot paths.
+package faultinject
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is a hand-advanced time source for budget.Options.Clock and for
+// latency injection: Advance moves time forward explicitly, so deadline
+// trips happen at the exact solver call a test arranged, independent of
+// machine speed.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// clockEpoch is the fixed origin of every fault-injection clock. Its value
+// is arbitrary; fixing it keeps fake-clock runs byte-identical.
+var clockEpoch = time.Unix(1_000_000_000, 0)
+
+// NewClock returns a clock frozen at a fixed epoch.
+func NewClock() *Clock { return &Clock{now: clockEpoch} }
+
+// Now returns the current fake time; pass the method value as a
+// budget.Clock.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (backward moves are ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Fault names used by Armed and Fired.
+const (
+	FaultFloorplanInfeasible = "floorplan-infeasible"
+	FaultMILPLimit           = "milp-limit"
+	FaultSolverLatency       = "solver-latency"
+)
+
+// Set is an armed collection of deterministic faults. The zero value (and
+// nil) has nothing armed; arm faults with the Force/Set methods. Safe for
+// concurrent use.
+type Set struct {
+	mu           sync.Mutex
+	fpInfeasible int // remaining forced-infeasible floorplan solves; <0 = every solve
+	milpLimit    int // remaining forced-Limit MILP solves; <0 = every solve
+	latency      time.Duration
+	clock        *Clock
+	fired        map[string]int
+}
+
+// New returns an empty fault set.
+func New() *Set { return &Set{} }
+
+// ForceFloorplanInfeasible arms the next n floorplan solves to report
+// infeasible (unproven) without searching; n < 0 means every solve.
+func (s *Set) ForceFloorplanInfeasible(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fpInfeasible = n
+}
+
+// ForceMILPLimit arms the next n MILP solves to stop immediately with a
+// Limit status; n < 0 means every solve.
+func (s *Set) ForceMILPLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.milpLimit = n
+}
+
+// SetSolverLatency makes every floorplan and MILP solve advance clk by d,
+// simulating a slow solver against budget deadlines on the same clock.
+func (s *Set) SetSolverLatency(d time.Duration, clk *Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+	s.clock = clk
+}
+
+// FloorplanSolve is the hook consumed at the top of every floorplan solve.
+// It applies armed latency and reports whether the solve must be forced
+// infeasible. Nil-safe.
+func (s *Set) FloorplanSolve() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLatencyLocked()
+	if s.fpInfeasible == 0 {
+		return false
+	}
+	if s.fpInfeasible > 0 {
+		s.fpInfeasible--
+	}
+	s.recordLocked(FaultFloorplanInfeasible)
+	return true
+}
+
+// MILPSolve is the hook consumed at the top of every MILP solve. It applies
+// armed latency and reports whether the solve must stop with Limit status.
+// Nil-safe.
+func (s *Set) MILPSolve() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLatencyLocked()
+	if s.milpLimit == 0 {
+		return false
+	}
+	if s.milpLimit > 0 {
+		s.milpLimit--
+	}
+	s.recordLocked(FaultMILPLimit)
+	return true
+}
+
+func (s *Set) applyLatencyLocked() {
+	if s.latency > 0 && s.clock != nil {
+		s.clock.Advance(s.latency)
+		s.recordLocked(FaultSolverLatency)
+	}
+}
+
+func (s *Set) recordLocked(name string) {
+	if s.fired == nil {
+		s.fired = make(map[string]int)
+	}
+	s.fired[name]++
+}
+
+// Armed returns the sorted names of the currently armed faults, for obs
+// span tags. Nil-safe; empty when nothing is armed.
+func (s *Set) Armed() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	if s.fpInfeasible != 0 {
+		names = append(names, FaultFloorplanInfeasible)
+	}
+	if s.milpLimit != 0 {
+		names = append(names, FaultMILPLimit)
+	}
+	if s.latency > 0 && s.clock != nil {
+		names = append(names, FaultSolverLatency)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fired returns how many times the named fault has actually fired.
+func (s *Set) Fired(name string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired[name]
+}

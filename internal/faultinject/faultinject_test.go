@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	if s.FloorplanSolve() || s.MILPSolve() {
+		t.Fatal("nil set fired a fault")
+	}
+	if got := s.Armed(); len(got) != 0 {
+		t.Fatalf("nil set Armed = %v", got)
+	}
+	if s.Fired(FaultMILPLimit) != 0 {
+		t.Fatal("nil set reports fired faults")
+	}
+}
+
+func TestForceFloorplanInfeasibleCountsDown(t *testing.T) {
+	s := New()
+	s.ForceFloorplanInfeasible(2)
+	if !s.FloorplanSolve() || !s.FloorplanSolve() {
+		t.Fatal("armed solves not stolen")
+	}
+	if s.FloorplanSolve() {
+		t.Fatal("third solve stolen after arming 2")
+	}
+	if n := s.Fired(FaultFloorplanInfeasible); n != 2 {
+		t.Fatalf("Fired = %d, want 2", n)
+	}
+}
+
+func TestForceForever(t *testing.T) {
+	s := New()
+	s.ForceFloorplanInfeasible(-1)
+	for i := 0; i < 10; i++ {
+		if !s.FloorplanSolve() {
+			t.Fatalf("solve %d not stolen with n=-1", i)
+		}
+	}
+	if s.MILPSolve() {
+		t.Fatal("milp solve stolen without arming")
+	}
+}
+
+func TestForceMILPLimit(t *testing.T) {
+	s := New()
+	s.ForceMILPLimit(1)
+	if !s.MILPSolve() {
+		t.Fatal("armed milp solve not stolen")
+	}
+	if s.MILPSolve() {
+		t.Fatal("second milp solve stolen after arming 1")
+	}
+}
+
+func TestSolverLatencyAdvancesClock(t *testing.T) {
+	clk := NewClock()
+	start := clk.Now()
+	s := New()
+	s.SetSolverLatency(50*time.Millisecond, clk)
+	s.FloorplanSolve()
+	s.MILPSolve()
+	if got := clk.Now().Sub(start); got != 100*time.Millisecond {
+		t.Fatalf("clock advanced %v, want 100ms", got)
+	}
+	if n := s.Fired(FaultSolverLatency); n != 2 {
+		t.Fatalf("latency fired %d times, want 2", n)
+	}
+}
+
+func TestClockDeterministicEpochAndAdvance(t *testing.T) {
+	a, b := NewClock(), NewClock()
+	if !a.Now().Equal(b.Now()) {
+		t.Fatal("two fresh clocks disagree")
+	}
+	a.Advance(time.Second)
+	if got := a.Now().Sub(b.Now()); got != time.Second {
+		t.Fatalf("advance moved clock by %v, want 1s", got)
+	}
+	a.Advance(-time.Hour)
+	if a.Now().Before(b.Now()) {
+		t.Fatal("negative advance moved the clock backward")
+	}
+}
+
+func TestArmedIsSortedAndLive(t *testing.T) {
+	s := New()
+	clk := NewClock()
+	s.SetSolverLatency(time.Millisecond, clk)
+	s.ForceMILPLimit(1)
+	s.ForceFloorplanInfeasible(3)
+	want := []string{FaultFloorplanInfeasible, FaultMILPLimit, FaultSolverLatency}
+	if got := s.Armed(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Armed = %v, want %v", got, want)
+	}
+	s.MILPSolve() // consumes the single armed milp fault
+	want = []string{FaultFloorplanInfeasible, FaultSolverLatency}
+	if got := s.Armed(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Armed after consuming milp fault = %v, want %v", got, want)
+	}
+}

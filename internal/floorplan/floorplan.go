@@ -14,14 +14,23 @@
 package floorplan
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/obs"
 	"resched/internal/resources"
 )
+
+// ErrInfeasible is the sentinel schedulers wrap when they exhaust their
+// shrink-retry policy without finding a floorplan-feasible schedule. It
+// lives here — the common dependency of sched and isk — and is re-exported
+// as sched.ErrFloorplanInfeasible; match it with errors.Is.
+var ErrInfeasible = errors.New("no floorplan-feasible schedule")
 
 // Placement is a candidate rectangle for one region: columns [X0, X1) and
 // clock-region rows [Y0, Y1).
@@ -111,10 +120,16 @@ type Options struct {
 	// trades completeness for speed; an infeasible answer under a cap is
 	// reported as unproven.
 	MaxCandidates int
-	// MaxNodes caps search nodes (0 = 200 000).
+	// MaxNodes caps search nodes in this solve (0 = 200 000).
 	MaxNodes int
-	// Deadline aborts the search when passed (zero = none).
-	Deadline time.Time
+	// Budget, when non-nil, is charged one unit per search node; exhaustion
+	// (deadline, shared node cap, or cancellation) aborts the search, which
+	// then reports infeasible-unproven — never Proven. Replaces the old
+	// Deadline field.
+	Budget *budget.Budget
+	// Faults, when armed, can steal the solve: a forced floorplan fault
+	// reports infeasible-unproven without searching.
+	Faults *faultinject.Set
 	// Trace, when non-nil, records a floorplan.solve span (method, region
 	// count, outcome, node count) and feasibility counters per invocation.
 	// A nil trace is a no-op.
@@ -142,6 +157,13 @@ type Result struct {
 func Solve(f *arch.Fabric, regions []resources.Vector, opt Options) (*Result, error) {
 	sp := opt.Trace.Start("floorplan.solve",
 		obs.Str("method", opt.Method.String()), obs.Int("regions", int64(len(regions))))
+	if opt.Faults.FloorplanSolve() {
+		opt.Trace.Count("floorplan.calls", 1)
+		opt.Trace.Count("floorplan.infeasible", 1)
+		opt.Trace.Count("floorplan.faults", 1)
+		sp.End(obs.Str("outcome", "fault-infeasible"))
+		return &Result{}, nil
+	}
 	res, err := solve(f, regions, opt)
 	opt.Trace.Count("floorplan.calls", 1)
 	switch {

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/resources"
 )
 
@@ -235,19 +237,27 @@ func TestBacktrackingVsMILP(t *testing.T) {
 	}
 }
 
-func TestDeadlineAbort(t *testing.T) {
+func TestBudgetAbort(t *testing.T) {
 	f := zynq()
 	var regions []resources.Vector
 	for i := 0; i < 30; i++ {
 		regions = append(regions, resources.Vec(300, 0, 0))
 	}
-	res, err := Solve(f, regions, Options{Deadline: time.Now().Add(-time.Second)})
+	// An expired fake-clock deadline trips on the first charged node.
+	clk := faultinject.NewClock()
+	bud := budget.New(budget.Options{Deadline: clk.Now().Add(-time.Second), Clock: clk.Now})
+	res, err := Solve(f, regions, Options{Budget: bud})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Either it finished instantly (feasible) or it aborted unproven.
-	if !res.Feasible && res.Proven && res.Nodes >= defaultMaxNodes {
+	if res.Feasible {
+		t.Fatal("aborted search returned placements")
+	}
+	if res.Proven {
 		t.Error("aborted search claimed a proof")
+	}
+	if res.Nodes > 1 {
+		t.Errorf("expired budget explored %d nodes", res.Nodes)
 	}
 }
 
@@ -296,4 +306,61 @@ func TestPlacementHelpers(t *testing.T) {
 	if a.String() == "" || Backtracking.String() != "backtracking" || MILP.String() != "milp" {
 		t.Error("string helpers")
 	}
+}
+
+// TestBudgetMidSearchNotProven aborts the backtracking search in the middle
+// of the placement tree (node cap, then cancellation) and verifies the
+// verdict is demoted to unproven: an aborted search may say "no placement
+// found" but never "no placement exists".
+func TestBudgetMidSearchNotProven(t *testing.T) {
+	f := zynq()
+	// An instance the unlimited search solves, but only after more nodes
+	// than the caps below allow: every complete assignment of 30 regions
+	// needs at least one search node per region.
+	var regions []resources.Vector
+	for i := 0; i < 30; i++ {
+		regions = append(regions, resources.Vec(300, 0, 0))
+	}
+	full, err := Solve(f, regions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Feasible || !full.Proven {
+		t.Fatalf("reference solve: feasible=%v proven=%v, want proven feasible", full.Feasible, full.Proven)
+	}
+	if full.Nodes <= 10 {
+		t.Skipf("instance too easy to abort mid-search (%d nodes)", full.Nodes)
+	}
+
+	t.Run("node cap", func(t *testing.T) {
+		bud := budget.New(budget.Options{MaxNodes: 10})
+		res, err := Solve(f, regions, Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible {
+			t.Error("10 nodes cannot place 30 regions, yet the search returned placements")
+		}
+		if res.Proven {
+			t.Error("search aborted mid-tree still claimed a proof")
+		}
+		if res.Nodes > 11 {
+			t.Errorf("explored %d nodes past a cap of 10", res.Nodes)
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		bud := budget.New(budget.Options{})
+		bud.Cancel()
+		res, err := Solve(f, regions, Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible || res.Proven {
+			t.Errorf("cancelled search: feasible=%v proven=%v, want neither", res.Feasible, res.Proven)
+		}
+		if res.Nodes > 1 {
+			t.Errorf("cancelled budget explored %d nodes", res.Nodes)
+		}
+	})
 }

@@ -3,7 +3,6 @@ package floorplan
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"resched/internal/arch"
 	"resched/internal/lp"
@@ -99,13 +98,16 @@ func solveBacktracking(f *arch.Fabric, regions []resources.Vector, cands [][]Pla
 			aborted = true
 			return false
 		}
-		if res.Nodes%1024 == 0 && !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
-			aborted = true
-			return false
-		}
 		region := order[k]
 		for _, p := range cands[region] {
 			res.Nodes++
+			// Budget is charged per node, so a cancel or deadline lands
+			// within microseconds of search; an aborted run reports
+			// infeasible-unproven below.
+			if opt.Budget.Charge(1) != nil {
+				aborted = true
+				return false
+			}
 			m := mask(p)
 			clash := false
 			for y := p.Y0; y < p.Y1 && !clash; y++ {
@@ -213,7 +215,7 @@ func solveMILP(f *arch.Fabric, regions []resources.Vector, cands [][]Placement, 
 	if maxNodes == 0 {
 		maxNodes = defaultMaxNodes
 	}
-	sol, err := p.Solve(milp.Options{MaxNodes: maxNodes, Deadline: opt.Deadline, FirstIncumbent: true})
+	sol, err := p.Solve(milp.Options{MaxNodes: maxNodes, Budget: opt.Budget, Faults: opt.Faults, FirstIncumbent: true})
 	if err != nil {
 		return err
 	}

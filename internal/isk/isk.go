@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/floorplan"
 	"resched/internal/obs"
 	"resched/internal/resources"
@@ -58,6 +60,14 @@ type Options struct {
 	// ShrinkFactor is the virtual capacity reduction per retry
 	// (default 0.93: retries are cheap, so shrink gently).
 	ShrinkFactor float64
+	// Budget, when non-nil, bounds the whole run: it is checked at every
+	// attempt boundary, charged per node inside the window branch-and-bound
+	// and inside floorplan queries, so a cancel lands in milliseconds. On
+	// exhaustion Schedule returns an error matching budget.ErrExhausted.
+	Budget *budget.Budget
+	// Faults, when armed, is forwarded to the floorplanner (and its MILP
+	// engine) to drive failure paths deterministically in tests.
+	Faults *faultinject.Set
 	// Trace, when non-nil, records spans for the run, each shrink-retry
 	// attempt and each window solve (with its branch-and-bound node count),
 	// plus window/node counters (package obs). A nil trace is a no-op and
@@ -110,9 +120,18 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	if opts.Floorplan.Trace == nil {
 		opts.Floorplan.Trace = opts.Trace
 	}
+	if opts.Floorplan.Budget == nil {
+		opts.Floorplan.Budget = opts.Budget
+	}
+	if opts.Floorplan.Faults == nil {
+		opts.Floorplan.Faults = opts.Faults
+	}
 	stats := &Stats{}
 	maxRes := a.MaxRes
 	for attempt := 0; ; attempt++ {
+		if err := opts.Budget.Check(); err != nil {
+			return nil, nil, fmt.Errorf("isk: attempt %d: %w", attempt, err)
+		}
 		var att *obs.Span
 		if opts.Trace.Enabled() {
 			att = opts.Trace.Start("isk.attempt",
@@ -154,7 +173,7 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 		}
 		if attempt >= opts.MaxRetries {
 			att.End(obs.Str("outcome", "infeasible"))
-			return nil, nil, fmt.Errorf("isk: no floorplan-feasible schedule after %d shrink retries", attempt)
+			return nil, nil, fmt.Errorf("isk: %w after %d shrink retries", floorplan.ErrInfeasible, attempt)
 		}
 		stats.Retries++
 		opts.Trace.Count("isk.retries", 1)
@@ -185,7 +204,7 @@ func run(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts
 		w := opts.Trace.Start("isk.window",
 			obs.Int("window", int64(lo/opts.K)), obs.Int("tasks", int64(len(window))))
 		nodesBefore := stats.Nodes
-		if err := st.solveWindow(window, opts.MaxWindowNodes, &stats.Nodes); err != nil {
+		if err := st.solveWindow(window, opts.MaxWindowNodes, &stats.Nodes, opts.Budget); err != nil {
 			w.End(obs.Str("outcome", "error"))
 			return nil, err
 		}

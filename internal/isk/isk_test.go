@@ -71,8 +71,8 @@ func TestChainSharesRegionWithReconfigs(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.AddTask("t", sw("s", 50000), hw("h", 100, 600))
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	sch, _ := mustRun(t, g, a, Options{K: 1, SkipFloorplan: true})
 	if sch.HWTaskCount() != 3 || len(sch.Regions) != 1 {
 		t.Fatalf("want 3 HW tasks in one region: %s", sch.Summary())
@@ -96,8 +96,8 @@ func TestModuleReuseSkipsReconfig(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.AddTask("t", sw("s", 50000), shared)
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	sch, _ := mustRun(t, g, a, Options{K: 1, SkipFloorplan: true, ModuleReuse: true})
 	if sch.HWTaskCount() != 3 || len(sch.Reconfs) != 0 {
 		t.Fatalf("module reuse should drop all reconfigurations: %s", sch.Summary())
@@ -119,8 +119,8 @@ func TestPrefetching(t *testing.T) {
 	g.AddTask("t0", sw("s0", 50000), hw("h0", 100, 600))
 	g.AddTask("t1", sw("s1", 2000))
 	g.AddTask("t2", sw("s2", 50000), hw("h2", 100, 600))
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	sch, _ := mustRun(t, g, a, Options{K: 1, SkipFloorplan: true, Prefetch: true})
 	if sch.Makespan != 2200 {
 		t.Errorf("makespan = %d, want 2200 (reconfiguration hidden)", sch.Makespan)
@@ -145,7 +145,7 @@ func TestIS5AtLeastAsGoodAsIS1(t *testing.T) {
 	a := arch.ZedBoard()
 	badCases := 0
 	for seed := int64(0); seed < 5; seed++ {
-		g := benchgen.Generate(benchgen.Config{Tasks: 25, Seed: 300 + seed})
+		g := genGraph(t, benchgen.Config{Tasks: 25, Seed: 300 + seed})
 		s1, _ := mustRun(t, g, a, Options{K: 1, SkipFloorplan: true})
 		s5, _ := mustRun(t, g, a, Options{K: 5, SkipFloorplan: true})
 		if s5.Makespan > s1.Makespan {
@@ -164,7 +164,7 @@ func TestSuiteValidity(t *testing.T) {
 	a := arch.ZedBoard()
 	for _, n := range []int{10, 40, 80} {
 		for idx := 0; idx < 2; idx++ {
-			g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(500 + n + idx)})
+			g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(500 + n + idx)})
 			for _, k := range []int{1, 5} {
 				sch, _ := mustRun(t, g, a, Options{K: k, SkipFloorplan: true, ModuleReuse: true})
 				if sch.Makespan <= 0 {
@@ -177,7 +177,7 @@ func TestSuiteValidity(t *testing.T) {
 
 func TestFloorplannedRun(t *testing.T) {
 	a := arch.ZedBoard()
-	g := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 77})
+	g := genGraph(t, benchgen.Config{Tasks: 20, Seed: 77})
 	sch, stats := mustRun(t, g, a, Options{K: 1})
 	if len(stats.Placements) != len(sch.Regions) {
 		t.Fatalf("placements %d for %d regions", len(stats.Placements), len(sch.Regions))
@@ -186,7 +186,7 @@ func TestFloorplannedRun(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	a := arch.ZedBoard()
-	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 12})
+	g := genGraph(t, benchgen.Config{Tasks: 30, Seed: 12})
 	s1, _ := mustRun(t, g, a, Options{K: 5, SkipFloorplan: true})
 	s2, _ := mustRun(t, g, a, Options{K: 5, SkipFloorplan: true})
 	if s1.Makespan != s2.Makespan {

@@ -14,7 +14,7 @@ func testTimeline(t *testing.T, prefetch bool) *timeline {
 	g := taskgraph.New("g")
 	g.AddTask("a", sw("a_sw", 100), hw("a_hw", 50, 500))
 	g.AddTask("b", sw("b_sw", 100), hw("b_hw", 50, 500))
-	g.MustEdge(0, 1)
+	mustEdge(t, g, 0, 1)
 	a := arch.ZedBoard()
 	return newTimeline(g, a, a.MaxRes, false, prefetch)
 }
@@ -115,7 +115,10 @@ func TestApplyUndoRoundTrip(t *testing.T) {
 		t.Fatal("no options for task 0")
 	}
 	for _, o := range opts {
-		ap := st.apply(o, false)
+		ap, err := st.apply(o, false)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
 		if st.impl[0] != o.impl {
 			t.Fatalf("apply did not set impl")
 		}
@@ -183,8 +186,8 @@ func TestPriorityOrderRespectsDepth(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		g.AddTask("t", sw("s", 100))
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	// Task 3 independent.
 	order, err := priorityOrder(g)
 	if err != nil {
@@ -204,8 +207,8 @@ func TestTailsComputation(t *testing.T) {
 	g.AddTask("a", sw("s", 100))
 	g.AddTask("b", sw("s", 200))
 	g.AddTask("c", sw("s", 300))
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	ts := tails(g)
 	// tail(a) = 200 + 300, tail(b) = 300, tail(c) = 0.
 	if ts[0] != 500 || ts[1] != 300 || ts[2] != 0 {
@@ -227,10 +230,10 @@ func TestEmitRoundTrip(t *testing.T) {
 	st := testTimeline(t, true)
 	st.tails = make([]int64, st.g.N())
 	var nodes int
-	if err := st.solveWindow([]int{0}, 1000, &nodes); err != nil {
+	if err := st.solveWindow([]int{0}, 1000, &nodes, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.solveWindow([]int{1}, 1000, &nodes); err != nil {
+	if err := st.solveWindow([]int{1}, 1000, &nodes, nil); err != nil {
 		t.Fatal(err)
 	}
 	sch := st.emit("IS-1", false)

@@ -3,6 +3,7 @@ package isk
 import (
 	"fmt"
 
+	"resched/internal/budget"
 	"resched/internal/schedule"
 )
 
@@ -120,8 +121,10 @@ func (st *timeline) options(t int) []option {
 
 // apply executes an option on the timeline and returns its undo record.
 // When commit is true the reconfiguration record (if any) is appended for
-// the final schedule.
-func (st *timeline) apply(o option, commit bool) applied {
+// the final schedule. An option with an unknown kind — impossible for
+// options produced by the enumerator — is reported as an error, not a
+// panic, so a corrupted plan cannot crash a library caller.
+func (st *timeline) apply(o option, commit bool) (applied, error) {
 	im := st.g.Tasks[o.task].Impls[o.impl]
 	ready := st.ready(o.task)
 	oldMak, oldSum, oldLB := st.makespan, st.sumEnds, st.lb
@@ -157,7 +160,7 @@ func (st *timeline) apply(o option, commit bool) applied {
 		}
 		st.target[o.task] = schedule.Target{Kind: schedule.OnProcessor, Index: o.proc}
 		st.procFree[o.proc] = start + im.Time
-		return finish(start, func() { st.procFree[o.proc] = oldFree })
+		return finish(start, func() { st.procFree[o.proc] = oldFree }), nil
 
 	case optNewRegion:
 		fp := st.footprint(im.Res)
@@ -176,7 +179,7 @@ func (st *timeline) apply(o option, commit bool) applied {
 		return finish(start, func() {
 			st.regions = st.regions[:len(st.regions)-1]
 			st.usedRes = st.usedRes.Sub(fp)
-		})
+		}), nil
 
 	case optReuse:
 		r := st.regions[o.region]
@@ -188,7 +191,7 @@ func (st *timeline) apply(o option, commit bool) applied {
 		r.freeAt = start + im.Time
 		r.lastTask = o.task
 		st.target[o.task] = schedule.Target{Kind: schedule.OnRegion, Index: r.id}
-		return finish(start, func() { r.freeAt, r.lastTask = oldFree, oldLast })
+		return finish(start, func() { r.freeAt, r.lastTask = oldFree, oldLast }), nil
 
 	case optExisting:
 		r := st.regions[o.region]
@@ -217,25 +220,28 @@ func (st *timeline) apply(o option, commit bool) applied {
 		return finish(start, func() {
 			st.removeSlot(ch, slotIdx)
 			r.freeAt, r.lastTask, r.loaded = oldFree, oldLast, oldLoaded
-		})
+		}), nil
 	}
-	panic(fmt.Sprintf("isk: unknown option kind %d", o.kind))
+	return applied{}, fmt.Errorf("isk: unknown option kind %d", o.kind)
 }
 
 // solveWindow finds the window decisions minimising (makespan, Σ ends) by
 // exhaustive branch and bound over task orders and options, then commits
-// the best plan to the timeline.
-func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int) error {
+// the best plan to the timeline. The budget is charged per explored node;
+// on exhaustion the search stops with a typed error (matching
+// budget.ErrExhausted) — a half-solved window cannot be emitted, so unlike
+// the per-window node cap there is no incumbent to fall back on.
+func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int, bud *budget.Budget) error {
 	inWindow := make(map[int]bool, len(window))
 	for _, t := range window {
 		inWindow[t] = true
 	}
 	var (
-		bestPlan []option
-		bestMak  int64
-		bestSum  int64
-		cur      []option
-		budget   = maxNodes
+		bestPlan   []option
+		bestMak    int64
+		bestSum    int64
+		cur        []option
+		nodeBudget = maxNodes
 	)
 
 	// ready-in-window: all predecessors scheduled (committed or within the
@@ -270,7 +276,7 @@ func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int) error {
 			}
 			return nil
 		}
-		if budget <= 0 {
+		if nodeBudget <= 0 {
 			return nil
 		}
 		for _, t := range readyTasks() {
@@ -279,9 +285,15 @@ func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int) error {
 				return fmt.Errorf("isk: task %d has no feasible mapping (no processors and no device capacity)", t)
 			}
 			for _, o := range opts {
-				budget--
+				nodeBudget--
 				*nodes++
-				ap := st.apply(o, false)
+				if err := bud.Charge(1); err != nil {
+					return fmt.Errorf("isk: window search aborted: %w", err)
+				}
+				ap, err := st.apply(o, false)
+				if err != nil {
+					return err
+				}
 				prune := bestPlan != nil && (st.lb > bestMak ||
 					(st.lb == bestMak && st.sumEnds >= bestSum))
 				if !prune {
@@ -293,7 +305,7 @@ func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int) error {
 					cur = cur[:len(cur)-1]
 				}
 				ap.undo()
-				if budget <= 0 {
+				if nodeBudget <= 0 {
 					break
 				}
 			}
@@ -308,7 +320,9 @@ func (st *timeline) solveWindow(window []int, maxNodes int, nodes *int) error {
 	}
 	// Commit the winning plan.
 	for _, o := range bestPlan {
-		st.apply(o, true)
+		if _, err := st.apply(o, true); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -8,8 +8,9 @@ package milp
 import (
 	"fmt"
 	"math"
-	"time"
 
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/lp"
 )
 
@@ -86,10 +87,16 @@ func (s Status) String() string {
 
 // Options tune the branch-and-bound search.
 type Options struct {
-	// MaxNodes caps explored nodes (0 = unlimited).
+	// MaxNodes caps explored nodes in this solve (0 = unlimited).
 	MaxNodes int
-	// Deadline aborts the search when passed (zero = none).
-	Deadline time.Time
+	// Budget, when non-nil, is charged one unit per explored node; when it
+	// is exhausted (deadline, shared node cap, or cancellation) the search
+	// stops and returns the incumbent as Feasible — never Optimal — or
+	// Limit when no incumbent exists. Replaces the old Deadline field.
+	Budget *budget.Budget
+	// Faults, when armed, can steal the solve: a forced MILP limit returns
+	// Status Limit immediately without searching.
+	Faults *faultinject.Set
 	// FirstIncumbent stops at the first integral solution. Feasibility
 	// queries (such as the floorplanner's) use this.
 	FirstIncumbent bool
@@ -113,6 +120,9 @@ type node struct {
 
 // Solve runs depth-first branch and bound.
 func (p *Problem) Solve(opt Options) (*Solution, error) {
+	if opt.Faults.MILPSolve() {
+		return &Solution{Status: Limit}, nil
+	}
 	n := p.LP.NumVars()
 	root := node{lo: make([]float64, n), hi: make([]float64, n)}
 	for i := range root.lo {
@@ -137,7 +147,10 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 		if opt.MaxNodes > 0 && sol.Nodes >= opt.MaxNodes {
 			return p.finish(sol, best, bestObj, false), nil
 		}
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		if err := opt.Budget.Charge(1); err != nil {
+			// Budget exhaustion is a limit stop, not a failure: the caller
+			// gets the incumbent (unproven) or Limit, exactly as with
+			// MaxNodes, and inspects the budget itself for the reason.
 			return p.finish(sol, best, bestObj, false), nil
 		}
 		nd := stack[len(stack)-1]

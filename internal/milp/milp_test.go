@@ -1,11 +1,14 @@
 package milp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"time"
 
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/lp"
 )
 
@@ -129,19 +132,26 @@ func TestMaxNodesLimit(t *testing.T) {
 	}
 }
 
-func TestDeadline(t *testing.T) {
+func TestBudgetDeadline(t *testing.T) {
 	p := New(4)
 	for i := 0; i < 4; i++ {
 		p.SetBinary(i)
 	}
 	p.LP.SetObjective([]float64{1, 2, 3, 4}, true)
 	p.LP.AddConstraint([]float64{1, 1, 1, 1}, lp.LE, 2)
-	sol, err := p.Solve(Options{Deadline: time.Now().Add(-time.Second)})
+	// An already-expired deadline on a fake clock trips on the first
+	// charge, so the solve stops before exploring anything.
+	clk := faultinject.NewClock()
+	bud := budget.New(budget.Options{Deadline: clk.Now().Add(-time.Second), Clock: clk.Now})
+	sol, err := p.Solve(Options{Budget: bud})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.Status != Limit && sol.Status != Feasible {
 		t.Fatalf("status = %v, want limit/feasible", sol.Status)
+	}
+	if sol.Status == Limit && sol.Nodes != 0 {
+		t.Fatalf("expired budget still explored %d nodes", sol.Nodes)
 	}
 }
 
@@ -274,4 +284,103 @@ func TestRandomEqualityIPs(t *testing.T) {
 			t.Fatalf("trial %d: solution violates equality: %v vs %v", trial, got, rhs)
 		}
 	}
+}
+
+// TestBudgetInterplay exercises the three budget limits — node cap,
+// deadline and cancellation — through one solver, including how they
+// interact when a single budget is shared across consecutive solves.
+func TestBudgetInterplay(t *testing.T) {
+	// A 6-variable knapsack whose root LP relaxation is fractional, so the
+	// solver must branch (TestMaxNodesLimit shows one node cannot prove
+	// optimality on this instance).
+	newKnapsack := func() *Problem {
+		p := New(6)
+		for i := 0; i < 6; i++ {
+			p.SetBinary(i)
+		}
+		p.LP.SetObjective([]float64{3, 5, 7, 11, 13, 17}, true)
+		p.LP.AddConstraint([]float64{2, 3, 5, 7, 9, 11}, lp.LE, 16)
+		return p
+	}
+
+	t.Run("node cap stops mid-search without a proof", func(t *testing.T) {
+		bud := budget.New(budget.Options{MaxNodes: 2})
+		sol, err := newKnapsack().Solve(Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status == Optimal || sol.Status == Infeasible {
+			t.Fatalf("capped solve claimed a proof: %v", sol.Status)
+		}
+		if sol.Nodes > 2 {
+			t.Errorf("explored %d nodes past a cap of 2", sol.Nodes)
+		}
+	})
+
+	t.Run("node accounting is cumulative across solves", func(t *testing.T) {
+		// The first solve drains the shared cap; the second must stop on
+		// its first charge with nothing explored.
+		bud := budget.New(budget.Options{MaxNodes: 3})
+		if _, err := newKnapsack().Solve(Options{Budget: bud}); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := newKnapsack().Solve(Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Limit || sol.Nodes != 0 {
+			t.Fatalf("drained budget still searched: status=%v nodes=%d", sol.Status, sol.Nodes)
+		}
+		// Charge counts the node before rejecting it, so each of the two
+		// solves may overshoot the shared tally by one rejected charge —
+		// but no rejected node is ever actually explored.
+		if bud.Nodes() > 3+2 {
+			t.Errorf("budget recorded %d nodes against a cap of 3", bud.Nodes())
+		}
+	})
+
+	t.Run("deadline flips between solves on a fake clock", func(t *testing.T) {
+		clk := faultinject.NewClock()
+		bud := budget.New(budget.Options{
+			Deadline: clk.Now().Add(time.Minute), Clock: clk.Now,
+		})
+		sol, err := newKnapsack().Solve(Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("frozen clock inside the deadline: status=%v, want optimal", sol.Status)
+		}
+		clk.Advance(2 * time.Minute)
+		sol, err = newKnapsack().Solve(Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Limit && sol.Status != Feasible {
+			t.Fatalf("expired deadline: status=%v, want limit/feasible", sol.Status)
+		}
+		if sol.Status == Limit && sol.Nodes != 0 {
+			t.Errorf("expired deadline still explored %d nodes", sol.Nodes)
+		}
+	})
+
+	t.Run("cancellation overrides remaining headroom", func(t *testing.T) {
+		// Plenty of nodes and time left — a cancel must still stop the
+		// solve before it explores anything.
+		clk := faultinject.NewClock()
+		bud := budget.New(budget.Options{
+			MaxNodes: 1 << 20, Deadline: clk.Now().Add(time.Hour), Clock: clk.Now,
+		})
+		bud.Cancel()
+		sol, err := newKnapsack().Solve(Options{Budget: bud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Limit || sol.Nodes != 0 {
+			t.Fatalf("cancelled budget still searched: status=%v nodes=%d", sol.Status, sol.Nodes)
+		}
+		if err := bud.Check(); !errors.Is(err, budget.ErrCancelled) {
+			t.Errorf("Check() = %v, want ErrCancelled", err)
+		}
+	})
 }

@@ -44,7 +44,7 @@ func TestCommZeroMatchesPlainEdge(t *testing.T) {
 				t.Fatal(err)
 			}
 		} else {
-			g.MustEdge(0, 1)
+			mustEdge(t, g, 0, 1)
 		}
 		return g
 	}
@@ -62,7 +62,7 @@ func TestCommZeroMatchesPlainEdge(t *testing.T) {
 func TestCommSuiteAllSchedulersValid(t *testing.T) {
 	a := arch.ZedBoard()
 	for _, n := range []int{15, 35} {
-		g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(700 + n), CommMax: 300})
+		g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(700 + n), CommMax: 300})
 		// Sanity: the generator produced at least one positive comm.
 		any := false
 		for _, e := range g.Edges() {
@@ -136,7 +136,7 @@ func TestCommSoftwarePath(t *testing.T) {
 	if err := g.AddEdgeComm(0, 2, 500); err != nil {
 		t.Fatal(err)
 	}
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 1, 2)
 	sch, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
 	// c must wait for a's data: 100 + 500 + 100.
 	if sch.Makespan != 700 {

@@ -18,7 +18,7 @@ func TestMultiControllerSchedulesValid(t *testing.T) {
 		a := arch.ZedBoard()
 		a.Reconfigurators = controllers
 		for _, n := range []int{20, 40} {
-			g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(1100 + n)})
+			g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(1100 + n)})
 			pa, _, err := Schedule(g, a, Options{SkipFloorplan: true})
 			if err != nil {
 				t.Fatalf("controllers=%d n=%d PA: %v", controllers, n, err)
@@ -50,7 +50,7 @@ func TestSecondControllerHelpsOnReconfBoundInstance(t *testing.T) {
 	// Two independent chains, each forced to time-share its own region on
 	// a device sized for exactly two regions: the four reconfigurations
 	// serialize on one ICAP but pair up on two.
-	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 77})
+	g := genGraph(t, benchgen.Config{Tasks: 30, Seed: 77})
 	single := arch.ZedBoard()
 	dual := arch.ZedBoard()
 	dual.Reconfigurators = 2

@@ -107,10 +107,10 @@ func TestHWOrderCriticalFirst(t *testing.T) {
 	g.AddTask("long", sw("s", 10000), hw("h", 900, 500, 0, 0))
 	g.AddTask("short", sw("s", 10000), hw("h", 100, 100, 0, 0)) // tiny → high eff
 	g.AddTask("sink", sw("s", 10000), hw("h", 100, 500, 0, 0))
-	g.MustEdge(0, 1)
-	g.MustEdge(0, 2)
-	g.MustEdge(1, 3)
-	g.MustEdge(2, 3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
 	s := newTestState(t, g)
 	isCritical := make([]bool, g.N())
 	for i := range isCritical {
@@ -136,8 +136,8 @@ func TestHWOrderRandomPermutesOnlyNonCritical(t *testing.T) {
 		g.AddTask("t", sw("s", 10000), hw("h", 100+int64(i), 100+10*i, 0, 0))
 	}
 	// Chain 0→1→2 critical; 3,4,5 isolated non-critical (shorter).
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	s := newTestState(t, g)
 	isCritical := make([]bool, g.N())
 	for i := range isCritical {

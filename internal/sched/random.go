@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/floorplan"
 	"resched/internal/obs"
 	"resched/internal/resources"
@@ -16,11 +19,20 @@ import (
 // RandomOptions tune the randomized scheduler PA-R (Algorithm 1 of §VI).
 type RandomOptions struct {
 	// TimeBudget is the wall-clock budget (timeToRun of Algorithm 1);
-	// zero means no time limit (MaxIterations must then be set).
+	// zero means no time limit (MaxIterations or Budget must then be set).
+	// It is applied as a WithTimeout child of Budget, so the overall
+	// budget's node cap and cancellation still govern the search.
 	TimeBudget time.Duration
 	// MaxIterations optionally caps the number of inner scheduling runs
 	// (0 = unlimited). Benchmarks use it for deterministic workloads.
 	MaxIterations int
+	// Budget, when non-nil, bounds the whole search: deadline, shared node
+	// cap and cancellation are honoured between iterations, at pipeline
+	// phase boundaries and per node inside floorplan queries. When the
+	// budget runs dry mid-search the incumbent (if any) is returned.
+	Budget *budget.Budget
+	// Faults, when armed, is forwarded to every floorplan query.
+	Faults *faultinject.Set
 	// Seed initialises the random generator; runs are reproducible.
 	Seed int64
 	// ModuleReuse is forwarded to the inner scheduler.
@@ -78,8 +90,8 @@ type RandomStats struct {
 // its regions, and infeasible candidates are simply discarded (no virtual
 // resource shrinking, unlike the deterministic variant).
 func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*schedule.Schedule, *RandomStats, error) {
-	if opts.TimeBudget <= 0 && opts.MaxIterations <= 0 {
-		return nil, nil, fmt.Errorf("sched: PA-R needs a time budget or an iteration cap")
+	if opts.TimeBudget <= 0 && opts.MaxIterations <= 0 && opts.Budget == nil {
+		return nil, nil, fmt.Errorf("sched: PA-R needs a time budget, an iteration cap or a budget")
 	}
 	if err := g.Validate(); err != nil {
 		return nil, nil, err
@@ -99,10 +111,9 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
-	var deadline time.Time
-	if opts.TimeBudget > 0 {
-		deadline = start.Add(opts.TimeBudget)
-	}
+	// The per-call TimeBudget nests inside the caller's overall budget:
+	// cancellation and the node cap are shared, the deadline tightens.
+	bud := opts.Budget.WithTimeout(opts.TimeBudget)
 	stats := &RandomStats{}
 	var best *schedule.Schedule
 
@@ -110,6 +121,7 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		ModuleReuse:   opts.ModuleReuse,
 		SkipFloorplan: true,
 		Rand:          rng,
+		Budget:        bud,
 	}
 	capFactor := 1.0
 	const capShrink, capFloor = 0.92, 0.40
@@ -117,7 +129,7 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		if opts.MaxIterations > 0 && stats.Iterations >= opts.MaxIterations {
 			break
 		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if bud.Check() != nil {
 			break
 		}
 		maxRes := a.MaxRes
@@ -137,6 +149,12 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		sch, regionRes, err := runPipeline(g, a, maxRes, runOpts)
 		stats.SchedulingTime += time.Since(innerBegin)
 		if err != nil {
+			if errors.Is(err, budget.ErrExhausted) {
+				// The budget ran dry mid-pipeline: stop searching and fall
+				// through to return the incumbent (or the fallback below).
+				it.End(obs.Str("outcome", "budget"))
+				break
+			}
 			it.End(obs.Str("outcome", "error"))
 			return nil, nil, err
 		}
@@ -148,8 +166,11 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		// Improving schedule: validate the floorplan before accepting.
 		stats.FloorplanCalls++
 		fpOpts := opts.Floorplan
-		if fpOpts.Deadline.IsZero() && !deadline.IsZero() {
-			fpOpts.Deadline = deadline
+		if fpOpts.Budget == nil {
+			fpOpts.Budget = bud
+		}
+		if fpOpts.Faults == nil {
+			fpOpts.Faults = opts.Faults
 		}
 		if fpOpts.MaxNodes == 0 {
 			// Bound each feasibility query so a hard instance cannot eat
@@ -190,9 +211,14 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 	opts.Trace.SetGauge("par.capacity_factor", capFactor)
 	if best == nil {
 		// Fall back to the deterministic scheduler (with shrinking) so a
-		// budget too small to find a feasible randomized solution still
-		// yields an answer.
-		sch, _, err := Schedule(g, a, Options{ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan, Trace: opts.Trace})
+		// TimeBudget too small to find a feasible randomized solution still
+		// yields an answer. The caller's overall budget (not the expired
+		// TimeBudget child) governs the fallback: a cancel or overall
+		// deadline fails it with a typed budget error.
+		sch, _, err := Schedule(g, a, Options{
+			ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan,
+			Budget: opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
+		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("sched: PA-R found no feasible schedule: %w", err)
 		}

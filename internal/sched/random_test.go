@@ -10,7 +10,7 @@ import (
 )
 
 func TestRScheduleValid(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 4})
+	g := genGraph(t, benchgen.Config{Tasks: 30, Seed: 4})
 	a := arch.ZedBoard()
 	sch, stats, err := RSchedule(g, a, RandomOptions{MaxIterations: 20, Seed: 1})
 	if err != nil {
@@ -41,7 +41,7 @@ func TestRScheduleValid(t *testing.T) {
 }
 
 func TestRScheduleReproducible(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 25, Seed: 2})
+	g := genGraph(t, benchgen.Config{Tasks: 25, Seed: 2})
 	a := arch.ZedBoard()
 	s1, _, err := RSchedule(g, a, RandomOptions{MaxIterations: 15, Seed: 7})
 	if err != nil {
@@ -64,7 +64,7 @@ func TestRScheduleAtLeastMatchesPAWithEnoughIterations(t *testing.T) {
 	a := arch.ZedBoard()
 	worse := 0
 	for seed := int64(0); seed < 4; seed++ {
-		g := benchgen.Generate(benchgen.Config{Tasks: 40, Seed: 100 + seed})
+		g := genGraph(t, benchgen.Config{Tasks: 40, Seed: 100 + seed})
 		pa, _, err := Schedule(g, a, Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -83,7 +83,7 @@ func TestRScheduleAtLeastMatchesPAWithEnoughIterations(t *testing.T) {
 }
 
 func TestRScheduleTimeBudget(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 3})
+	g := genGraph(t, benchgen.Config{Tasks: 20, Seed: 3})
 	a := arch.ZedBoard()
 	start := time.Now()
 	sch, stats, err := RSchedule(g, a, RandomOptions{TimeBudget: 50 * time.Millisecond, Seed: 1})
@@ -99,14 +99,14 @@ func TestRScheduleTimeBudget(t *testing.T) {
 }
 
 func TestRScheduleNeedsBudget(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 10, Seed: 1})
+	g := genGraph(t, benchgen.Config{Tasks: 10, Seed: 1})
 	if _, _, err := RSchedule(g, arch.ZedBoard(), RandomOptions{}); err == nil {
 		t.Error("missing budget accepted")
 	}
 }
 
 func TestRScheduleNeedsFabric(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 10, Seed: 1})
+	g := genGraph(t, benchgen.Config{Tasks: 10, Seed: 1})
 	a := arch.ZedBoard()
 	a.Fabric = nil
 	if _, _, err := RSchedule(g, a, RandomOptions{MaxIterations: 3}); err == nil {
@@ -115,7 +115,7 @@ func TestRScheduleNeedsFabric(t *testing.T) {
 }
 
 func TestRScheduleModuleReuse(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 6})
+	g := genGraph(t, benchgen.Config{Tasks: 30, Seed: 6})
 	a := arch.ZedBoard()
 	sch, _, err := RSchedule(g, a, RandomOptions{MaxIterations: 10, Seed: 2, ModuleReuse: true})
 	if err != nil {

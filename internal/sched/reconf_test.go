@@ -74,11 +74,11 @@ func TestCriticalReconfsScheduledFirst(t *testing.T) {
 	g.AddTask("c0", sw("c0_sw", 90000), hw("c0_hw", 1000, 600, 0, 0))
 	g.AddTask("mid", taskgraph.Implementation{Name: "mid_sw", Kind: taskgraph.SW, Time: 3000})
 	g.AddTask("c1", sw("c1_sw", 90000), hw("c1_hw", 1000, 600, 0, 0))
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	g.AddTask("n0", sw("n0_sw", 90000), hw("n0_hw", 500, 600, 0, 0))
 	g.AddTask("n1", sw("n1_sw", 90000), hw("n1_hw", 500, 600, 0, 0))
-	g.MustEdge(3, 4)
+	mustEdge(t, g, 3, 4)
 
 	sch, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
 	if len(sch.Reconfs) == 0 {
@@ -116,7 +116,7 @@ func TestRepairConvergesUnderStress(t *testing.T) {
 			task = g.AddTask("hw", sw("hw_sw", 30000), hw("hw_hw", 400, 650, 0, 0))
 		}
 		if prev >= 0 {
-			g.MustEdge(prev, task.ID)
+			mustEdge(t, g, prev, task.ID)
 		}
 		prev = task.ID
 	}

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
 	"resched/internal/floorplan"
 	"resched/internal/obs"
 	"resched/internal/resources"
@@ -45,6 +47,14 @@ type Options struct {
 	// NoSWBalance disables the software-task-balancing phase (§V-D);
 	// kept for ablation studies.
 	NoSWBalance bool
+	// Budget, when non-nil, bounds the whole run: it is checked at every
+	// attempt and phase boundary and charged per node inside the phase-8
+	// floorplan search, so a cancel or deadline lands in milliseconds. On
+	// exhaustion Schedule returns an error matching ErrBudgetExhausted.
+	Budget *budget.Budget
+	// Faults, when armed, is forwarded to the floorplanner (and its MILP
+	// engine) to drive failure paths deterministically in tests.
+	Faults *faultinject.Set
 	// Trace, when non-nil, records spans for the run, each shrink-retry
 	// attempt (annotated with the shrunk capacity vector) and each of the
 	// eight phases, plus retry counters (package obs). A nil trace is a
@@ -97,9 +107,18 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	if opts.Floorplan.Trace == nil {
 		opts.Floorplan.Trace = opts.Trace
 	}
+	if opts.Floorplan.Budget == nil {
+		opts.Floorplan.Budget = opts.Budget
+	}
+	if opts.Floorplan.Faults == nil {
+		opts.Floorplan.Faults = opts.Faults
+	}
 	stats := &Stats{}
 	maxRes := a.MaxRes
 	for attempt := 0; ; attempt++ {
+		if err := opts.Budget.Check(); err != nil {
+			return nil, nil, fmt.Errorf("sched: PA attempt %d: %w", attempt, err)
+		}
 		var att *obs.Span
 		if opts.Trace.Enabled() {
 			att = opts.Trace.Start("pa.attempt",
@@ -138,7 +157,7 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 		}
 		if attempt >= opts.MaxRetries {
 			att.End(obs.Str("outcome", "infeasible"))
-			return nil, nil, fmt.Errorf("sched: no floorplan-feasible schedule after %d shrink retries", attempt)
+			return nil, nil, fmt.Errorf("sched: %w after %d shrink retries", ErrFloorplanInfeasible, attempt)
 		}
 		// §V-H: restart with virtually reduced FPGA resources.
 		stats.Retries++
@@ -155,10 +174,23 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 	s := newState(g, a, maxRes)
 	s.strict = opts.StrictWindows
 
+	// checkBudget bounds how late a cancel can land: one phase at most.
+	// The check never influences scheduling decisions — it either aborts
+	// the run or changes nothing — so determinism is preserved.
+	checkBudget := func() error {
+		if err := opts.Budget.Check(); err != nil {
+			return fmt.Errorf("sched: pipeline aborted: %w", err)
+		}
+		return nil
+	}
+
 	// Phase 1: implementation selection.
 	sp := opts.Trace.Start("pa.phase1.implselect")
 	s.selectImplementations()
 	sp.End()
+	if err := checkBudget(); err != nil {
+		return nil, nil, err
+	}
 	// Phase 2: critical path extraction.
 	sp = opts.Trace.Start("pa.phase2.criticalpath")
 	if err := s.retime(); err != nil {
@@ -170,6 +202,9 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 		isCritical[t] = s.critical(t)
 	}
 	sp.End()
+	if err := checkBudget(); err != nil {
+		return nil, nil, err
+	}
 	// Phase 3: regions definition.
 	sp = opts.Trace.Start("pa.phase3.regions")
 	if err := s.defineRegions(s.hwOrder(isCritical, opts.Rand), isCritical); err != nil {
@@ -177,6 +212,9 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 		return nil, nil, err
 	}
 	sp.End(obs.Int("regions", int64(len(s.regions))))
+	if err := checkBudget(); err != nil {
+		return nil, nil, err
+	}
 	// Phase 4: software task balancing.
 	if !opts.NoSWBalance {
 		sp = opts.Trace.Start("pa.phase4.swbalance")
@@ -186,6 +224,9 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 		}
 		sp.End()
 	}
+	if err := checkBudget(); err != nil {
+		return nil, nil, err
+	}
 	// Phase 5 is implicit: retime fixes T_START = T_MIN (§V-E).
 	sp = opts.Trace.Start("pa.phase5.starttimes")
 	if err := s.retime(); err != nil {
@@ -193,6 +234,9 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 		return nil, nil, err
 	}
 	sp.End()
+	if err := checkBudget(); err != nil {
+		return nil, nil, err
+	}
 	// Phase 6: software task mapping.
 	sp = opts.Trace.Start("pa.phase6.swmap")
 	if err := s.mapSoftware(); err != nil {
@@ -200,6 +244,9 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 		return nil, nil, err
 	}
 	sp.End()
+	if err := checkBudget(); err != nil {
+		return nil, nil, err
+	}
 	// Phase 7: reconfigurations scheduling.
 	sp = opts.Trace.Start("pa.phase7.reconf")
 	rts, err := s.scheduleReconfigs(opts.ModuleReuse)

@@ -75,8 +75,8 @@ func TestChainOnTinyDeviceFollowsPaperProcedure(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.AddTask("t", sw("s", 5000), hw("h", 100, 600, 2, 2))
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	sch, _ := mustSchedule(t, g, small, Options{SkipFloorplan: true})
 	if len(sch.Regions) != 1 {
 		t.Fatalf("want 1 region, got %d", len(sch.Regions))
@@ -144,8 +144,8 @@ func TestFigure1Motivation(t *testing.T) {
 		hw("t1_2", 500, 450, 0, 0)) // slower, half the area
 	g.AddTask("t2", sw("t2_sw", 100000), hw("t2_hw", 400, 500, 0, 0))
 	g.AddTask("t3", sw("t3_sw", 100000), hw("t3_hw", 400, 500, 0, 0))
-	g.MustEdge(0, 1)
-	g.MustEdge(0, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
 
 	sch, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
 	if got := sch.Impl(0).Name; got != "t1_2" {
@@ -170,7 +170,7 @@ func TestFigure1Motivation(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 40, Seed: 9})
+	g := genGraph(t, benchgen.Config{Tasks: 40, Seed: 9})
 	a := arch.ZedBoard()
 	s1, _ := mustSchedule(t, g, a, Options{})
 	s2, _ := mustSchedule(t, g, a, Options{})
@@ -191,7 +191,7 @@ func TestSuiteValidity(t *testing.T) {
 	a := arch.ZedBoard()
 	for _, n := range []int{10, 30, 50, 80, 100} {
 		for idx := 0; idx < 3; idx++ {
-			g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(n*100 + idx)})
+			g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(n*100 + idx)})
 			sch, stats := mustSchedule(t, g, a, Options{})
 			if sch.Makespan <= 0 {
 				t.Fatalf("n=%d idx=%d: non-positive makespan", n, idx)
@@ -213,7 +213,7 @@ func TestSuiteValidity(t *testing.T) {
 func TestHWBeatsAllSWOnSuite(t *testing.T) {
 	a := arch.ZedBoard()
 	for _, n := range []int{20, 60} {
-		g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(n)})
+		g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(n)})
 		sch, _ := mustSchedule(t, g, a, Options{})
 		// All-software bound: total SW time / processors is a loose lower
 		// bound for all-SW; use the serial SW sum as the comparator's upper
@@ -242,8 +242,8 @@ func TestModuleReuseSkipsReconfigs(t *testing.T) {
 	g.AddTask("t0", sw("s0", 5000), shared)
 	g.AddTask("t1", sw("s1", 2000))
 	g.AddTask("t2", sw("s2", 5000), shared)
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 
 	plain, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true})
 	reuse, _ := mustSchedule(t, g, a, Options{SkipFloorplan: true, ModuleReuse: true})
@@ -268,7 +268,7 @@ func TestShrinkRetryPath(t *testing.T) {
 	// cleanly when the check is requested.
 	a := arch.ZedBoard()
 	a.Fabric = nil
-	g := benchgen.Generate(benchgen.Config{Tasks: 10, Seed: 1})
+	g := genGraph(t, benchgen.Config{Tasks: 10, Seed: 1})
 	if _, _, err := Schedule(g, a, Options{}); err == nil {
 		t.Error("fabric-less floorplanning accepted")
 	}
@@ -284,7 +284,7 @@ func TestInvalidInstanceRejected(t *testing.T) {
 	if _, _, err := Schedule(g, arch.ZedBoard(), Options{}); err == nil {
 		t.Error("invalid graph accepted")
 	}
-	g2 := benchgen.Generate(benchgen.Config{Tasks: 5, Seed: 1})
+	g2 := genGraph(t, benchgen.Config{Tasks: 5, Seed: 1})
 	bad := arch.ZedBoard()
 	bad.RecFreq = 0
 	if _, _, err := Schedule(g2, bad, Options{}); err == nil {

@@ -205,6 +205,10 @@ func checkReconfs(s *Schedule, errs *[]error) {
 		if rc.End > out.Start {
 			bad("reconfiguration %d: ends at %d after outgoing task %d starts at %d", i, rc.End, rc.OutTask, out.Start)
 		}
+		if rc.InTask >= s.Graph.N() {
+			bad("reconfiguration %d: ingoing task %d out of range", i, rc.InTask)
+			continue
+		}
 		if rc.InTask >= 0 {
 			in := s.Tasks[rc.InTask]
 			if in.Target.Kind != OnRegion || in.Target.Index != rc.Region {

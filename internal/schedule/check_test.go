@@ -36,7 +36,7 @@ func fixture(t *testing.T) *Schedule {
 	g.AddTask("t0", sw, hw0)
 	g.AddTask("t1", sw, hw1)
 	g.AddTask("t2", sw)
-	g.MustEdge(0, 1)
+	mustEdge(t, g, 0, 1)
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}

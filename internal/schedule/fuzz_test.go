@@ -1,0 +1,104 @@
+package schedule
+
+import (
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/resources"
+	"resched/internal/taskgraph"
+)
+
+// FuzzCheckSchedule decodes arbitrary bytes into a (usually corrupt)
+// schedule over a fixed three-task instance and runs the independent checker
+// on it. The single property is that Check never panics: it must report
+// out-of-range implementation indices, targets, regions and reconfiguration
+// task references as violations, not crash on them. The checked-in seed
+// corpus under testdata/fuzz runs as part of the ordinary test suite; one
+// seed pins the historical InTask out-of-range crash.
+func FuzzCheckSchedule(f *testing.F) {
+	f.Add([]byte{})
+	// A plausible encoding: one region, three tasks, one reconfiguration
+	// whose InTask (100) is far out of range — the historical checker crash.
+	f.Add([]byte{
+		1, 10, 1, 0, 4, // 1 region: Res(100,1,0), reconf time 4
+		1, 1, 0, 0, 4, // task 0: impl 1 on region 0, [0,4)
+		0, 0, 0, 10, 20, // task 1: impl 0 on processor 0, [10,20)
+		0, 0, 1, 0, 15, // task 2: impl 0 on processor 1, [0,15)
+		1, 0, 100, 0, 5, 9, // reconf: region 0, InTask 100, OutTask 0, [5,9)
+		20, 1, // makespan 20, module reuse on
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := scheduleFromBytes(data)
+		_ = Check(s) // must not panic, whatever the bytes decode to
+	})
+}
+
+// scheduleFromBytes deterministically decodes fuzz bytes into a schedule for
+// a fixed instance: tasks a→b plus an independent c on a ZedBoard. Values
+// are used raw (no clamping), so indices and time slots routinely fall out
+// of range — exactly the corruption Check must survive.
+func scheduleFromBytes(data []byte) *Schedule {
+	g := taskgraph.New("fuzz")
+	g.AddTask("a",
+		taskgraph.Implementation{Name: "a_sw", Kind: taskgraph.SW, Time: 10},
+		taskgraph.Implementation{Name: "a_hw", Kind: taskgraph.HW, Time: 4, Res: resources.Vec(100, 1, 0)})
+	g.AddTask("b",
+		taskgraph.Implementation{Name: "b_sw", Kind: taskgraph.SW, Time: 10},
+		taskgraph.Implementation{Name: "b_hw", Kind: taskgraph.HW, Time: 4, Res: resources.Vec(100, 1, 0)})
+	g.AddTask("c", taskgraph.Implementation{Name: "c_sw", Kind: taskgraph.SW, Time: 15})
+	if err := g.AddEdge(0, 1); err != nil {
+		panic(err) // fixed literal instance; unreachable
+	}
+	a := arch.ZedBoard()
+	s := New(g, a)
+	s.Algorithm = "fuzz"
+
+	cur := 0
+	next := func() int {
+		if cur >= len(data) {
+			return 0
+		}
+		b := int(data[cur])
+		cur++
+		return b
+	}
+	// Signed-ish small values: bytes ≥ 200 map below zero so negative
+	// indices and times are reachable.
+	val := func() int {
+		b := next()
+		if b >= 200 {
+			return 200 - b - 1
+		}
+		return b
+	}
+
+	nRegions := next() % 5
+	for i := 0; i < nRegions; i++ {
+		s.Regions = append(s.Regions, Region{
+			ID:         i,
+			Res:        resources.Vec(val()*10, val(), val()),
+			ReconfTime: int64(val()),
+		})
+	}
+	for t := range s.Tasks {
+		s.Tasks[t] = Assignment{
+			Impl:   val(),
+			Target: Target{Kind: TargetKind(next() % 3), Index: val()},
+			Start:  int64(val()),
+			End:    int64(val()),
+		}
+	}
+	nReconfs := next() % 5
+	for i := 0; i < nReconfs; i++ {
+		s.Reconfs = append(s.Reconfs, Reconfiguration{
+			Region:  val(),
+			InTask:  val(),
+			OutTask: val(),
+			Start:   int64(val()),
+			End:     int64(val()),
+		})
+	}
+	s.Makespan = int64(val())
+	s.ModuleReuse = next()%2 == 1
+	return s
+}

@@ -1,0 +1,16 @@
+package schedule
+
+import (
+	"testing"
+
+	"resched/internal/taskgraph"
+)
+
+// mustEdge adds a dependency or fails the test; the library itself no longer
+// panics on construction errors.
+func mustEdge(tb testing.TB, g *taskgraph.Graph, from, to int) {
+	tb.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		tb.Fatal(err)
+	}
+}

@@ -17,7 +17,7 @@ func TestSimulationDeterministicQuick(t *testing.T) {
 	a := arch.ZedBoard()
 	f := func(seed uint8, size uint8) bool {
 		n := 5 + int(size)%30
-		g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(seed)})
+		g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(seed)})
 		s, _, err := sched.Schedule(g, a, sched.Options{SkipFloorplan: true})
 		if err != nil {
 			return false

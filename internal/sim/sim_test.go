@@ -79,8 +79,8 @@ func TestExecuteSimpleChain(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		g.AddTask("t", sw)
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	s := mustPA(t, g)
 	r, err := Execute(s)
 	if err != nil {
@@ -94,7 +94,7 @@ func TestExecuteSimpleChain(t *testing.T) {
 
 func TestExecuteNeverWorseThanSchedule(t *testing.T) {
 	for _, n := range []int{10, 25, 40, 60} {
-		g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(n)})
+		g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(n)})
 		s := mustPA(t, g)
 		r, err := Execute(s)
 		if err != nil {
@@ -118,7 +118,7 @@ func TestExecuteAgreesWithASAP(t *testing.T) {
 	a := arch.ZedBoard()
 	for _, n := range []int{10, 20, 35, 50} {
 		for _, comm := range []int64{0, 400} {
-			g := benchgen.Generate(benchgen.Config{Tasks: n, Seed: int64(900 + n), CommMax: comm})
+			g := genGraph(t, benchgen.Config{Tasks: n, Seed: int64(900 + n), CommMax: comm})
 			schedules := make([]*schedule.Schedule, 0, 3)
 			pa, _, err := sched.Schedule(g, a, sched.Options{SkipFloorplan: true})
 			if err != nil {
@@ -182,8 +182,8 @@ func TestExecuteHWWithReconfs(t *testing.T) {
 	g.AddTask("b",
 		taskgraph.Implementation{Name: "b_sw", Kind: taskgraph.SW, Time: 50000},
 		taskgraph.Implementation{Name: "b_hw", Kind: taskgraph.HW, Time: 100, Res: resources.Vec(600, 0, 0)})
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
 	s, _, err := sched.Schedule(g, small, sched.Options{SkipFloorplan: true})
 	if err != nil {
 		t.Fatal(err)
@@ -213,7 +213,7 @@ func TestExecuteDetectsCyclicOrders(t *testing.T) {
 	sw := taskgraph.Implementation{Name: "s", Kind: taskgraph.SW, Time: 100}
 	g.AddTask("a", sw, hw)
 	g.AddTask("b", sw, hw)
-	g.MustEdge(0, 1)
+	mustEdge(t, g, 0, 1)
 	s := schedule.New(g, a)
 	r0 := s.AddRegion(resources.Vec(100, 0, 0))
 	// b scheduled BEFORE a in the region although a → b: cyclic orders.
@@ -229,7 +229,7 @@ func TestExecuteDetectsCyclicOrders(t *testing.T) {
 }
 
 func TestSlackReporting(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 30, Seed: 5})
+	g := genGraph(t, benchgen.Config{Tasks: 30, Seed: 5})
 	s := mustPA(t, g)
 	r, err := Execute(s)
 	if err != nil {

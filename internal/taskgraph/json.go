@@ -118,11 +118,16 @@ func (g *Graph) Write(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// Read decodes a graph from JSON.
+// Read decodes a graph from JSON and validates it: any graph Read accepts
+// satisfies the §III structural assumptions (Validate), so schedulers can
+// consume loaded instances without re-checking.
 func Read(r io.Reader) (*Graph, error) {
 	var g Graph
 	if err := json.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("taskgraph: decoding: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("taskgraph: loaded graph invalid: %w", err)
 	}
 	return &g, nil
 }

@@ -167,14 +167,6 @@ func (g *Graph) AddEdgeComm(from, to int, comm int64) error {
 // the edge does not exist.
 func (g *Graph) EdgeComm(from, to int) int64 { return g.edges[[2]int{from, to}] }
 
-// MustEdge is AddEdge that panics on error; intended for literal graph
-// construction in examples and tests.
-func (g *Graph) MustEdge(from, to int) {
-	if err := g.AddEdge(from, to); err != nil {
-		panic(err)
-	}
-}
-
 // N returns |T|.
 func (g *Graph) N() int { return len(g.Tasks) }
 
@@ -246,16 +238,21 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The adjacency is copied
+// structurally — including successor/predecessor order, which AddEdgeComm
+// replays could only reproduce with care — so cloning needs no validation
+// and cannot fail.
 func (g *Graph) Clone() *Graph {
 	c := New(g.Name)
 	for _, t := range g.Tasks {
 		c.AddTask(t.Name, t.Impls...)
 	}
+	for i := range g.Tasks {
+		c.succ[i] = append([]int(nil), g.succ[i]...)
+		c.pred[i] = append([]int(nil), g.pred[i]...)
+	}
 	for e, comm := range g.edges {
-		if err := c.AddEdgeComm(e[0], e[1], comm); err != nil {
-			panic(err) // cannot happen: copying a valid structure
-		}
+		c.edges[e] = comm
 	}
 	return c
 }

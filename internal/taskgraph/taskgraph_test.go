@@ -25,10 +25,10 @@ func diamond(t *testing.T) *Graph {
 	for _, n := range []string{"a", "b", "c", "d"} {
 		g.AddTask(n, swImpl(n+"_sw", 100), hwImpl(n+"_hw", 10, 50, 1, 2))
 	}
-	g.MustEdge(0, 1)
-	g.MustEdge(0, 2)
-	g.MustEdge(1, 3)
-	g.MustEdge(2, 3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
 	if err := g.Validate(); err != nil {
 		t.Fatalf("diamond invalid: %v", err)
 	}
@@ -114,8 +114,8 @@ func TestTopoOrderCycle(t *testing.T) {
 	g := New("cyc")
 	g.AddTask("a", swImpl("s", 1))
 	g.AddTask("b", swImpl("s", 1))
-	g.MustEdge(0, 1)
-	g.MustEdge(1, 0)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 0)
 	if _, err := g.TopoOrder(); err == nil {
 		t.Error("cycle not detected")
 	}
@@ -137,7 +137,7 @@ func TestTopoOrderRandomDAGs(t *testing.T) {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if rng.Float64() < 0.15 {
-					g.MustEdge(i, j)
+					mustEdge(t, g, i, j)
 				}
 			}
 		}
@@ -238,7 +238,7 @@ func TestClone(t *testing.T) {
 	}
 	// Mutating the clone must not affect the original.
 	c.AddTask("extra", swImpl("s", 1))
-	c.MustEdge(3, 4)
+	mustEdge(t, c, 3, 4)
 	if g.N() != 4 || g.HasEdge(3, 4) {
 		t.Error("clone mutation leaked into original")
 	}
@@ -401,7 +401,7 @@ func TestCommJSONRoundTrip(t *testing.T) {
 	if err := g.AddEdgeComm(0, 1, 123); err != nil {
 		t.Fatal(err)
 	}
-	g.MustEdge(1, 2) // zero-comm edge
+	mustEdge(t, g, 1, 2) // zero-comm edge
 	var buf bytes.Buffer
 	if err := g.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -420,7 +420,7 @@ func TestCommJSONRoundTrip(t *testing.T) {
 	plain := New("plain")
 	plain.AddTask("a", swImpl("s", 1))
 	plain.AddTask("b", swImpl("s", 1))
-	plain.MustEdge(0, 1)
+	mustEdge(t, plain, 0, 1)
 	buf.Reset()
 	if err := plain.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -450,5 +450,14 @@ func TestClonePreservesComm(t *testing.T) {
 	c := g.Clone()
 	if c.EdgeComm(0, 1) != 55 {
 		t.Errorf("clone comm = %d", c.EdgeComm(0, 1))
+	}
+}
+
+// mustEdge adds a dependency or fails the test; the library itself no longer
+// panics on construction errors.
+func mustEdge(tb testing.TB, g *Graph, from, to int) {
+	tb.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		tb.Fatal(err)
 	}
 }

@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
+	"resched/internal/isk"
+	"resched/internal/sched"
+	"resched/internal/schedule"
+)
+
+// TestCancelledSearchesReturnPromptly is the cancellation-latency
+// guarantee: Cancel on the shared budget, arriving from another goroutine
+// mid-search, makes a 100-task PA-R run and an IS-5 run return — with the
+// best-so-far schedule or a typed budget error — within 100ms. The budget
+// is polled per node inside the floorplanner and at every phase and
+// iteration boundary, so the reaction time is bounded by one uninterrupted
+// stretch of pipeline work, not by the full search.
+func TestCancelledSearchesReturnPromptly(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 100, Seed: 2024})
+	a := arch.ZedBoard()
+
+	check := func(t *testing.T, solve func(*budget.Budget) (*schedule.Schedule, error)) {
+		t.Helper()
+		bud := budget.New(budget.Options{})
+		cancelled := make(chan time.Time, 1)
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			bud.Cancel()
+			cancelled <- time.Now()
+		}()
+		sch, err := solve(bud)
+		returned := time.Now()
+		cancelAt := <-cancelled
+
+		switch {
+		case err == nil:
+			// Finished before the cancel, or the cancel landed after an
+			// incumbent existed: either way the schedule must be valid.
+			if violations := schedule.Check(sch); len(violations) > 0 {
+				t.Fatalf("returned schedule invalid: %v", violations[0])
+			}
+		case errors.Is(err, sched.ErrBudgetExhausted):
+			// No incumbent yet: the typed budget error is the contract.
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if lag := returned.Sub(cancelAt); lag > 100*time.Millisecond {
+			t.Errorf("solver returned %v after Cancel, want within 100ms", lag)
+		}
+	}
+
+	t.Run("PA-R", func(t *testing.T) {
+		check(t, func(bud *budget.Budget) (*schedule.Schedule, error) {
+			// No iteration cap and no time budget: only the cancel stops it.
+			s, _, err := sched.RSchedule(g, a, sched.RandomOptions{
+				Seed: 1, ModuleReuse: true, Budget: bud,
+			})
+			return s, err
+		})
+	})
+	t.Run("IS-5", func(t *testing.T) {
+		check(t, func(bud *budget.Budget) (*schedule.Schedule, error) {
+			s, _, err := isk.Schedule(g, a, isk.Options{
+				K: 5, ModuleReuse: true, Budget: bud,
+			})
+			return s, err
+		})
+	})
+}
+
+// TestBudgetedRunsStayDeterministic supplies a generous fake-clock budget
+// and verifies the schedulers produce byte-identical schedules with and
+// without it: threading a budget through the pipeline must be
+// observationally free until it actually trips (companion guarantee to
+// TestSchedulerDeterminism).
+func TestBudgetedRunsStayDeterministic(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
+	a := arch.ZedBoard()
+	generous := func() *budget.Budget {
+		clk := faultinject.NewClock()
+		return budget.New(budget.Options{
+			Deadline: clk.Now().Add(time.Hour), MaxNodes: 1 << 40, Clock: clk.Now,
+		})
+	}
+
+	plainPA, _, err := sched.Schedule(g, a, sched.Options{ModuleReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgetedPA, _, err := sched.Schedule(g, a, sched.Options{ModuleReuse: true, Budget: generous()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainPA, budgetedPA) {
+		t.Error("PA: schedule differs under a generous budget")
+	}
+
+	par := sched.RandomOptions{MaxIterations: 20, Seed: 7, ModuleReuse: true}
+	plainPAR, _, err := sched.RSchedule(g, a, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Budget = generous()
+	budgetedPAR, _, err := sched.RSchedule(g, a, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainPAR, budgetedPAR) {
+		t.Error("PA-R: schedule differs under a generous budget")
+	}
+}

@@ -20,7 +20,7 @@ import (
 // promises: all eight phases, the attempt hierarchy and the floorplan
 // invocations.
 func TestTracingDeterminism(t *testing.T) {
-	g := benchgen.Generate(benchgen.Config{Tasks: 50, Seed: 424242})
+	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
 	a := arch.ZedBoard()
 
 	assertEqual := func(name string, plain, traced *schedule.Schedule) {
