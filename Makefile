@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet bench bench-all fuzz
+.PHONY: verify fmt-check vet build test race reschedvet bench bench-all benchcmp fuzz
 
 verify: fmt-check vet build race reschedvet
 	@echo "verify: all gates passed"
@@ -38,10 +38,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoadGraphJSON -fuzztime 10s ./internal/taskgraph
 	$(GO) test -run '^$$' -fuzz FuzzCheckSchedule -fuzztime 10s ./internal/schedule
 
-# bench runs the Table I suite and records it as structured JSON, the file
-# successive PRs diff to track scheduler performance over time.
+# bench runs the Table I suite (plus the PA-R worker-scaling benchmarks)
+# and records it as structured JSON, the file successive PRs diff to track
+# scheduler performance over time.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTable1' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
+
+# benchcmp is the regression gate: re-run the bench suite into a scratch
+# file and compare it against the committed baseline. Any benchmark more
+# than 15% worse on ns/op or allocs/op fails the target (tune with
+# THRESHOLD=...). Run it before a PR; refresh the baseline with `make
+# bench` when a regression is intentional and explained in the PR.
+THRESHOLD ?= 15
+benchcmp:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances' -benchmem . | $(GO) run ./cmd/benchjson -o /tmp/BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) BENCH_table1.json /tmp/BENCH_new.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem

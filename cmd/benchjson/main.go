@@ -6,6 +6,14 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkTable1' -benchmem . | benchjson -o BENCH_table1.json
+//	benchjson -compare [-threshold 15] old.json new.json
+//
+// -compare prints per-benchmark ns/op and allocs/op deltas between two
+// documents (matching names with the GOMAXPROCS suffix stripped, so
+// results from machines with different core counts still pair up) and
+// exits non-zero when any benchmark regressed by more than -threshold
+// percent on either metric — the regression gate `make benchcmp` runs
+// before a PR.
 package main
 
 import (
@@ -42,7 +50,23 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 15, "with -compare: fail when ns/op or allocs/op regresses by more than this percentage")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
+		}
+		failed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc, err := parse(os.Stdin)
 	if err != nil {
@@ -139,6 +163,101 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// normalizeName strips the trailing -N GOMAXPROCS suffix go test appends
+// (BenchmarkFoo/sub-8 → BenchmarkFoo/sub), so documents produced on
+// machines with different core counts still pair up.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// loadDoc reads a benchmark JSON document written by this command.
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// pctDelta returns the relative change in percent; a zero baseline with a
+// non-zero new value counts as +100% (an appearance is a regression).
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (newV - oldV) / oldV
+}
+
+// runCompare prints the per-benchmark deltas between two documents and
+// reports whether any benchmark regressed beyond the threshold.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (failed bool, err error) {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[normalizeName(b.Name)] = b
+	}
+	fmt.Fprintf(w, "%-44s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	matched := map[string]bool{}
+	for _, nb := range newDoc.Benchmarks {
+		key := normalizeName(nb.Name)
+		ob, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s %10s %10d %8s\n",
+				key, "-", nb.NsPerOp, "new", "-", nb.AllocsPerOp, "new")
+			continue
+		}
+		matched[key] = true
+		nsDelta := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := pctDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		mark := ""
+		if nsDelta > threshold || allocDelta > threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%% %10d %10d %+7.1f%%%s\n",
+			key, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta, mark)
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		key := normalizeName(ob.Name)
+		if !matched[key] {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %8s %10d %10s %8s\n",
+				key, ob.NsPerOp, "-", "gone", ob.AllocsPerOp, "-", "gone")
+		}
+	}
+	if failed {
+		fmt.Fprintf(w, "FAIL: at least one benchmark regressed more than %.0f%%\n", threshold)
+	}
+	return failed, nil
 }
 
 func fatal(err error) {

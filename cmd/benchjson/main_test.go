@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,5 +53,114 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 0 {
 		t.Errorf("parsed %d benchmarks from noise, want 0", len(doc.Benchmarks))
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkTable1PA/tasks=10-8", "BenchmarkTable1PA/tasks=10"},
+		{"BenchmarkTable1PA/tasks=10-16", "BenchmarkTable1PA/tasks=10"},
+		{"BenchmarkPAR/workers=4-1", "BenchmarkPAR/workers=4"},
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo-", "BenchmarkFoo-"},
+		{"BenchmarkFoo-x8", "BenchmarkFoo-x8"},
+	}
+	for _, c := range cases {
+		if got := normalizeName(c.in); got != c.want {
+			t.Errorf("normalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	cases := []struct{ oldV, newV, want float64 }{
+		{100, 110, 10},
+		{100, 80, -20},
+		{0, 0, 0},
+		{0, 5, 100},
+	}
+	for _, c := range cases {
+		if got := pctDelta(c.oldV, c.newV); got != c.want {
+			t.Errorf("pctDelta(%v, %v) = %v, want %v", c.oldV, c.newV, got, c.want)
+		}
+	}
+}
+
+// writeDoc marshals a Doc into a temp file and returns its path.
+func writeDoc(t *testing.T, doc *Doc) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompare(t *testing.T) {
+	// Old document produced on an 8-core machine, new on a 1-core machine:
+	// the GOMAXPROCS suffixes differ but the rows must still pair up.
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTable1PA/tasks=10-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkTable1PA/tasks=20-8", NsPerOp: 2000, AllocsPerOp: 200},
+		{Name: "BenchmarkOld/gone-8", NsPerOp: 10, AllocsPerOp: 1},
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTable1PA/tasks=10-1", NsPerOp: 1050, AllocsPerOp: 90},
+		{Name: "BenchmarkTable1PA/tasks=20-1", NsPerOp: 2600, AllocsPerOp: 200},
+		{Name: "BenchmarkPAR/workers=4-1", NsPerOp: 5, AllocsPerOp: 2},
+	}}
+	oldPath, newPath := writeDoc(t, oldDoc), writeDoc(t, newDoc)
+
+	var buf strings.Builder
+	failed, err := runCompare(&buf, oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// tasks=20 is +30% on ns/op: over the 15% threshold.
+	if !failed {
+		t.Errorf("runCompare failed=false, want true; output:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "FAIL:") {
+		t.Errorf("output missing regression markers:\n%s", out)
+	}
+	if !strings.Contains(out, "new") || !strings.Contains(out, "gone") {
+		t.Errorf("output missing new/gone rows:\n%s", out)
+	}
+
+	// A looser threshold passes the same pair of documents.
+	buf.Reset()
+	failed, err = runCompare(&buf, oldPath, newPath, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Errorf("runCompare failed=true at threshold 50; output:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("unexpected REGRESSION mark at threshold 50:\n%s", buf.String())
+	}
+}
+
+func TestRunCompareAllocRegression(t *testing.T) {
+	// An allocs/op regression alone must fail the gate even when ns/op
+	// improved — the allocation diet is guarded independently.
+	oldPath := writeDoc(t, &Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTable1PA/tasks=20-8", NsPerOp: 2000, AllocsPerOp: 100},
+	}})
+	newPath := writeDoc(t, &Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkTable1PA/tasks=20-8", NsPerOp: 1500, AllocsPerOp: 150},
+	}})
+	var buf strings.Builder
+	failed, err := runCompare(&buf, oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Errorf("alloc regression not flagged; output:\n%s", buf.String())
 	}
 }

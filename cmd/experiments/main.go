@@ -5,6 +5,7 @@
 //
 //	experiments [-exp all|table1|fig2|fig3|fig4|fig5|fig6]
 //	            [-per-group 10] [-seed 2016] [-fig6-budget 5s] [-quiet]
+//	            [-workers 1]
 //	            [-trace trace.json] [-metrics metrics.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -44,6 +45,7 @@ func run() error {
 		seed        = flag.Int64("seed", 2016, "benchmark suite seed")
 		fig6Budget  = flag.Duration("fig6-budget", 5*time.Second, "PA-R budget per Fig. 6 instance")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		workers     = flag.Int("workers", 1, "instances evaluated concurrently (1 = sequential; >1 makes the wall-clock columns noisy and can shift the time-budgeted PA-R column)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the suite evaluation; on exhaustion the run stops early and reports the completed instances (0 = unlimited)")
 		robust      = flag.Bool("robust", false, "additionally run the degradation ladder per instance and report the rung distribution")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
@@ -73,7 +75,7 @@ func run() error {
 		trace = obs.New()
 	}
 
-	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true, Trace: trace, Robust: *robust}
+	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true, Trace: trace, Robust: *robust, Workers: *workers}
 	if *timeout > 0 {
 		cfg.Budget = budget.New(budget.Options{Timeout: *timeout})
 	}
@@ -143,7 +145,7 @@ func run() error {
 		experiments.WriteContention(os.Stdout, points)
 	}
 	if want == "parallelism" {
-		points, err := experiments.RunParallelism(experiments.ParallelismConfig{Seed: *seed})
+		points, err := experiments.RunParallelism(experiments.ParallelismConfig{Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pasched -graph app.json [-algo pa|par|is1|is5|robust] [-budget 2s]
-//	        [-reuse] [-gantt] [-dot out.dot] [-seed 7]
+//	        [-reuse] [-gantt] [-dot out.dot] [-seed 7] [-workers 0]
 //	        [-timeout 0] [-maxnodes 0]
 //	        [-fault-floorplan-infeasible N] [-fault-milp-limit N]
 //	        [-trace trace.json] [-metrics metrics.json]
@@ -74,6 +74,7 @@ func run() error {
 		algo        = flag.String("algo", "pa", "scheduler: pa, par, is1 or is5")
 		parBudget   = flag.Duration("budget", 2*time.Second, "PA-R time budget")
 		seed        = flag.Int64("seed", 1, "PA-R random seed")
+		workers     = flag.Int("workers", 0, "PA-R search goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		reuse       = flag.Bool("reuse", false, "enable module reuse")
 		gantt       = flag.Bool("gantt", false, "print a textual Gantt chart")
 		simulate    = flag.Bool("sim", false, "execute the schedule on the discrete-event platform model")
@@ -185,7 +186,8 @@ func run() error {
 	case "par":
 		var parStats *sched.RandomStats
 		sch, parStats, err = sched.RSchedule(g, a, sched.RandomOptions{
-			TimeBudget: *parBudget, Seed: *seed, ModuleReuse: *reuse, Trace: trace,
+			TimeBudget: *parBudget, Seed: *seed, Workers: *workers,
+			ModuleReuse: *reuse, Trace: trace,
 			Budget: bud, Faults: faults,
 		})
 		if err == nil {

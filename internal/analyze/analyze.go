@@ -80,6 +80,7 @@ func All() []*Analyzer {
 		SortStable,
 		ErrDrop,
 		RawClock,
+		SeedShare,
 	}
 }
 

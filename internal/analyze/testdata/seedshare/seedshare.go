@@ -1,0 +1,63 @@
+// Package fixture seeds seedshare violations and their sanctioned fixes.
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+)
+
+func badSharedRand() {
+	rng := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = rng.Intn(10) // want "captures rng"
+		}()
+	}
+	wg.Wait()
+}
+
+func badSharedSource() {
+	src := rand.NewSource(7)
+	done := make(chan struct{})
+	go func() {
+		_ = src.Int63() // want "captures src"
+		close(done)
+	}()
+	<-done
+}
+
+func goodPrivatePerGoroutine() {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			_ = rng.Intn(10)
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+func goodSameGoroutine() {
+	// A generator used on the goroutine that created it is fine; only a
+	// `go func` capture is a scheduling-dependent draw order.
+	rng := rand.New(rand.NewSource(2))
+	done := make(chan struct{})
+	go func() { close(done) }()
+	_ = rng.Intn(10)
+	<-done
+}
+
+func suppressedDemo() {
+	rng := rand.New(rand.NewSource(3))
+	done := make(chan struct{})
+	go func() {
+		_ = rng.Intn(3) //reschedvet:ignore seedshare demonstration only
+		close(done)
+	}()
+	<-done
+}

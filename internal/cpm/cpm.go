@@ -61,67 +61,101 @@ func Compute(n int, succ, pred [][]int, dur []int64, release []int64, deadline i
 // ComputeEdges is Compute with per-edge communication delays: comm(u, v)
 // ticks must elapse between u's end and v's start (nil means all-zero).
 func ComputeEdges(n int, succ, pred [][]int, dur []int64, release []int64, deadline int64, comm func(u, v int) int64) (*Result, error) {
+	var ws Workspace
+	est, lft, makespan, err := ws.ComputeEdges(n, succ, pred, dur, release, deadline, comm)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Order:    append([]int(nil), ws.order...),
+		EST:      est,
+		LFT:      lft,
+		Dur:      append([]int64(nil), dur...),
+		Makespan: makespan,
+	}, nil
+}
+
+// Workspace holds the working buffers of repeated CPM passes over graphs of
+// (roughly) the same size, so the scheduler's hot re-timing loop — one pass
+// after every sequencing edge or release change — stops reallocating the
+// topological order and the timing arrays on every call. The zero value is
+// ready to use; buffers grow to the largest n seen. Not safe for concurrent
+// use — give each worker its own workspace.
+type Workspace struct {
+	topo     taskgraph.TopoScratch
+	order    []int
+	est, lft []int64
+}
+
+// ComputeEdges runs the same forward/backward passes as the package-level
+// ComputeEdges but reuses the workspace buffers. The returned est and lft
+// slices alias the workspace and are valid until the next call.
+func (ws *Workspace) ComputeEdges(n int, succ, pred [][]int, dur []int64, release []int64, deadline int64, comm func(u, v int) int64) (est, lft []int64, makespan int64, err error) {
 	if len(dur) != n {
-		return nil, fmt.Errorf("cpm: %d durations for %d tasks", len(dur), n)
+		return nil, nil, 0, fmt.Errorf("cpm: %d durations for %d tasks", len(dur), n)
 	}
 	for t, d := range dur {
 		if d < 0 {
-			return nil, fmt.Errorf("cpm: task %d has negative duration %d", t, d)
+			return nil, nil, 0, fmt.Errorf("cpm: task %d has negative duration %d", t, d)
 		}
 	}
-	order, err := taskgraph.TopoOrderAdj(n, succ, pred)
+	order, err := ws.topo.OrderAdj(n, succ, pred)
 	if err != nil {
-		return nil, fmt.Errorf("cpm: %w", err)
+		return nil, nil, 0, fmt.Errorf("cpm: %w", err)
 	}
-	r := &Result{
-		Order: order,
-		EST:   make([]int64, n),
-		LFT:   make([]int64, n),
-		Dur:   append([]int64(nil), dur...),
+	ws.order = order
+	if cap(ws.est) < n {
+		ws.est = make([]int64, n)
+		ws.lft = make([]int64, n)
 	}
+	est, lft = ws.est[:n], ws.lft[:n]
 	// Forward pass: EST[t] = max(release[t], max_{p∈pred} EST[p]+dur[p]).
 	if release != nil {
 		if len(release) != n {
-			return nil, fmt.Errorf("cpm: %d release times for %d tasks", len(release), n)
+			return nil, nil, 0, fmt.Errorf("cpm: %d release times for %d tasks", len(release), n)
 		}
-		copy(r.EST, release)
+		copy(est, release)
+	} else {
+		for i := range est {
+			est[i] = 0
+		}
 	}
 	for _, v := range order {
 		for _, w := range succ[v] {
-			f := r.EST[v] + dur[v]
+			f := est[v] + dur[v]
 			if comm != nil {
 				f += comm(v, w)
 			}
-			if f > r.EST[w] {
-				r.EST[w] = f
+			if f > est[w] {
+				est[w] = f
 			}
 		}
-		if f := r.EST[v] + dur[v]; f > r.Makespan {
-			r.Makespan = f
+		if f := est[v] + dur[v]; f > makespan {
+			makespan = f
 		}
 	}
 	// Backward pass: LFT[t] = min_{s∈succ} (LFT[s]-dur[s]); sinks get the
 	// deadline.
 	horizon := deadline
 	if horizon < 0 {
-		horizon = r.Makespan
+		horizon = makespan
 	}
-	for i := range r.LFT {
-		r.LFT[i] = horizon
+	for i := range lft {
+		lft[i] = horizon
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		for _, w := range succ[v] {
-			lst := r.LFT[w] - dur[w]
+			lst := lft[w] - dur[w]
 			if comm != nil {
 				lst -= comm(v, w)
 			}
-			if lst < r.LFT[v] {
-				r.LFT[v] = lst
+			if lst < lft[v] {
+				lft[v] = lst
 			}
 		}
 	}
-	return r, nil
+	return est, lft, makespan, nil
 }
 
 // ComputeGraph is a convenience wrapper running CPM directly over a task

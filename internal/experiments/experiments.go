@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"resched/internal/arch"
@@ -58,7 +60,21 @@ type Config struct {
 	// Trace, when non-nil, records one span per (instance, algorithm) pair
 	// and forwards the trace into every scheduler so their attempt, phase
 	// and window spans land in the same timeline. A nil trace is a no-op.
+	// With Workers > 1 each instance records a detached root span instead
+	// (obs.StartRoot) and the inner schedulers are not traced: the span
+	// nesting stack is a single sequential chain that concurrent instances
+	// would corrupt.
 	Trace *obs.Trace
+	// Workers bounds the number of instances evaluated concurrently
+	// (0 or 1 = sequential, the historical behaviour). Results keep their
+	// suite order regardless of completion order (indexed fan-in). Note
+	// that concurrent instances share the machine, so the per-algorithm
+	// wall-clock columns are only comparable within a run at a fixed
+	// worker count — and since PA-R is an anytime search under a
+	// wall-clock budget, its column can shift too (sharing cores buys
+	// each instance fewer iterations). The deterministic PA and IS-k
+	// columns are identical at any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +139,9 @@ func Run(cfg Config, progress func(done, total int)) ([]InstanceResult, error) {
 		perGroup[e.Group]++
 		selected = append(selected, e)
 	}
+	if cfg.Workers > 1 {
+		return runParallel(cfg, selected, progress)
+	}
 	var out []InstanceResult
 	for i, e := range selected {
 		if berr := cfg.Budget.Check(); berr != nil {
@@ -138,6 +157,82 @@ func Run(cfg Config, progress func(done, total int)) ([]InstanceResult, error) {
 		out = append(out, r)
 		if progress != nil {
 			progress(i+1, len(selected))
+		}
+	}
+	return out, nil
+}
+
+// runParallel evaluates the selected instances on a bounded worker pool.
+// Each worker claims the next undispatched instance and writes its result
+// into that instance's slot, so the returned slice keeps suite order no
+// matter how completions interleave. The progress callback sees completion
+// counts (not suite positions) and may be called from worker goroutines.
+func runParallel(cfg Config, selected []benchgen.SuiteEntry, progress func(done, total int)) ([]InstanceResult, error) {
+	workers := cfg.Workers
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	// Inner schedulers must not push onto the trace's sequential nesting
+	// stack from several goroutines; instances record detached root spans
+	// here instead.
+	innerCfg := cfg
+	innerCfg.Trace = nil
+
+	type slot struct {
+		res  InstanceResult
+		err  error
+		done bool
+	}
+	slots := make([]slot, len(selected))
+	var next, completed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				if cfg.Budget.Check() != nil {
+					// Budget exhausted: stop claiming; the slot stays
+					// undone and the fan-in reports the partial run.
+					return
+				}
+				e := selected[i]
+				inst := cfg.Trace.StartRoot("experiment.instance",
+					obs.Int("group", int64(e.Group)), obs.Int("index", int64(e.Index)))
+				r, err := runInstance(innerCfg, e)
+				inst.End()
+				slots[i] = slot{res: r, err: err, done: true}
+				if err != nil {
+					// A hard error poisons the run (matching the
+					// sequential path); stop claiming new work.
+					next.Store(int64(len(selected)))
+					return
+				}
+				if progress != nil {
+					progress(int(completed.Add(1)), len(selected))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]InstanceResult, 0, len(selected))
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		if slots[i].done {
+			out = append(out, slots[i].res)
+		}
+	}
+	if len(out) < len(selected) {
+		if berr := cfg.Budget.Check(); berr != nil {
+			return out, fmt.Errorf("experiments: stopped after %d/%d instances: %w",
+				len(out), len(selected), berr)
 		}
 	}
 	return out, nil

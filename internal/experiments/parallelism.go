@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"resched/internal/arch"
@@ -29,6 +31,11 @@ type ParallelismConfig struct {
 	Layers []int
 	// ParBudget is PA-R's time budget per instance (default 60 ms).
 	ParBudget time.Duration
+	// Workers bounds how many (shape, instance) evaluations run
+	// concurrently (0 or 1 = sequential). Aggregation order is fixed by
+	// instance index regardless of completion order, so the reported means
+	// are identical at any worker count.
+	Workers int
 }
 
 // ParallelismPoint is the aggregate for one DAG shape.
@@ -59,40 +66,89 @@ func RunParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
 	if cfg.ParBudget == 0 {
 		cfg.ParBudget = 60 * time.Millisecond
 	}
-	a := arch.ZedBoard()
-	var out []ParallelismPoint
 	for _, layers := range cfg.Layers {
 		if layers < 1 || layers > cfg.Tasks {
 			return nil, fmt.Errorf("experiments: layer count %d out of [1, %d]", layers, cfg.Tasks)
 		}
+	}
+	a := arch.ZedBoard()
+
+	// One job per (shape, instance) pair; results land in indexed slots so
+	// the sums below always accumulate in instance order, keeping the
+	// reported means bit-identical at any worker count.
+	type shapeResult struct {
+		par, is5 int64
+		err      error
+	}
+	jobs := len(cfg.Layers) * cfg.Instances
+	results := make([]shapeResult, jobs)
+	runJob := func(j int) {
+		layers := cfg.Layers[j/cfg.Instances]
+		idx := j % cfg.Instances
+		g, err := benchgen.Generate(benchgen.Config{
+			Tasks:  cfg.Tasks,
+			Seed:   cfg.Seed + int64(idx),
+			Layers: layers,
+		})
+		if err != nil {
+			results[j].err = err
+			return
+		}
+		is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true})
+		if err != nil {
+			results[j].err = fmt.Errorf("parallelism layers=%d: IS-5: %w", layers, err)
+			return
+		}
+		par, _, err := sched.RSchedule(g, a, sched.RandomOptions{
+			TimeBudget: cfg.ParBudget, Seed: cfg.Seed + int64(idx),
+		})
+		if err != nil {
+			results[j].err = fmt.Errorf("parallelism layers=%d: PA-R: %w", layers, err)
+			return
+		}
+		results[j].par, results[j].is5 = par.Makespan, is5.Makespan
+	}
+	if cfg.Workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workers := cfg.Workers
+		if workers > jobs {
+			workers = jobs
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= jobs {
+						return
+					}
+					runJob(j)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for j := 0; j < jobs; j++ {
+			runJob(j)
+		}
+	}
+
+	var out []ParallelismPoint
+	for li, layers := range cfg.Layers {
 		pt := ParallelismPoint{Layers: layers, WidthRatio: float64(cfg.Tasks) / float64(layers)}
 		var parSum, isSum, impSum float64
-		count := 0
 		for idx := 0; idx < cfg.Instances; idx++ {
-			g, err := benchgen.Generate(benchgen.Config{
-				Tasks:  cfg.Tasks,
-				Seed:   cfg.Seed + int64(idx),
-				Layers: layers,
-			})
-			if err != nil {
-				return nil, err
+			r := results[li*cfg.Instances+idx]
+			if r.err != nil {
+				return nil, r.err
 			}
-			is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true})
-			if err != nil {
-				return nil, fmt.Errorf("parallelism layers=%d: IS-5: %w", layers, err)
-			}
-			par, _, err := sched.RSchedule(g, a, sched.RandomOptions{
-				TimeBudget: cfg.ParBudget, Seed: cfg.Seed + int64(idx),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("parallelism layers=%d: PA-R: %w", layers, err)
-			}
-			parSum += float64(par.Makespan)
-			isSum += float64(is5.Makespan)
-			impSum += 100 * float64(is5.Makespan-par.Makespan) / float64(is5.Makespan)
-			count++
+			parSum += float64(r.par)
+			isSum += float64(r.is5)
+			impSum += 100 * float64(r.is5-r.par) / float64(r.is5)
 		}
-		n := float64(count)
+		n := float64(cfg.Instances)
 		pt.MeanPAR = parSum / n
 		pt.MeanIS5 = isSum / n
 		pt.PARvsIS5Pct = impSum / n

@@ -46,9 +46,17 @@ func solveBacktracking(f *arch.Fabric, regions []resources.Vector, cands [][]Pla
 	})
 
 	// Per-placement multi-word column masks (fabrics may exceed 64
-	// columns).
-	mask := func(p Placement) []uint64 {
-		m := make([]uint64, words)
+	// columns). One scratch buffer per DFS depth: the mask computed at
+	// depth k stays live across the recursive call (it is needed again to
+	// un-occupy on backtrack), while deeper levels use their own rows —
+	// so a single preallocated matrix replaces the per-node allocation
+	// that used to dominate the scheduler's heap profile.
+	maskBuf := make([]uint64, words*len(regions))
+	mask := func(k int, p Placement) []uint64 {
+		m := maskBuf[k*words : (k+1)*words]
+		for w := range m {
+			m[w] = 0
+		}
 		for x := p.X0; x < p.X1; x++ {
 			m[x/64] |= 1 << (x % 64)
 		}
@@ -108,7 +116,7 @@ func solveBacktracking(f *arch.Fabric, regions []resources.Vector, cands [][]Pla
 				aborted = true
 				return false
 			}
-			m := mask(p)
+			m := mask(k, p)
 			clash := false
 			for y := p.Y0; y < p.Y1 && !clash; y++ {
 				for w, bits := range m {

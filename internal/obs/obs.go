@@ -67,6 +67,10 @@ type spanRecord struct {
 	start  time.Duration
 	end    time.Duration // negative while open
 	args   []Arg
+	// detached marks a span opened with StartRoot: it never participates
+	// in the open-span chain, so concurrent goroutines can record spans
+	// without corrupting the single-stack nesting.
+	detached bool
 }
 
 // Span is a handle to an in-flight span. A nil *Span (returned by a nil
@@ -117,6 +121,33 @@ func (t *Trace) Start(name string, args ...Arg) *Span {
 	return &Span{tr: t, id: id}
 }
 
+// StartRoot opens a span at the root of the trace, bypassing the open-span
+// stack: the new span has no parent and does not become the parent of
+// subsequent Start calls. This is the entry point for concurrent recording —
+// parallel workers (PA-R's worker pool, the experiment harness's instance
+// pool) each record their spans as detached roots, because the nesting stack
+// is a single sequential chain and interleaved Start/End pairs from several
+// goroutines would corrupt it. It returns nil (a valid no-op handle) when
+// the trace is nil.
+func (t *Trace) StartRoot(name string, args ...Arg) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.spans)
+	t.spans = append(t.spans, spanRecord{
+		name:     name,
+		parent:   -1,
+		depth:    0,
+		start:    t.clock(),
+		end:      -1,
+		args:     args,
+		detached: true,
+	})
+	return &Span{tr: t, id: id}
+}
+
 // End closes the span, attaching any final annotations (an outcome tag,
 // say). Open descendants that were never ended explicitly are closed at the
 // same instant, so an early return that skips an inner End cannot corrupt
@@ -133,6 +164,12 @@ func (s *Span) End(args ...Arg) {
 		return
 	}
 	now := t.clock()
+	if rec.detached {
+		// Detached spans never sit on the open chain; close in place.
+		rec.end = now
+		rec.args = append(rec.args, args...)
+		return
+	}
 	// Close the open chain from the innermost span up to (and including)
 	// this one. The chain walk is bounded by the nesting depth.
 	for cur := t.open; cur >= 0; cur = t.spans[cur].parent {

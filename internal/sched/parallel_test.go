@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/budget"
+	"resched/internal/schedule"
+)
+
+// TestParallelDeterminism pins the worker pool's output contract: for a
+// fixed (Seed, Workers, MaxIterations) the schedule is a pure function of
+// the options — two runs must be deeply equal regardless of goroutine
+// interleaving. Run under -race (make verify does) this also exercises the
+// reducer and the shared capacity-factor aggregate for data races.
+func TestParallelDeterminism(t *testing.T) {
+	a := arch.ZedBoard()
+	for _, tasks := range []int{20, 50} {
+		g := genGraph(t, benchgen.Config{Tasks: tasks, Seed: int64(424242 + tasks)})
+		for _, workers := range []int{1, 2, 4, 7} {
+			opts := RandomOptions{MaxIterations: 30, Seed: 11, Workers: workers}
+			s1, st1, err := RSchedule(g, a, opts)
+			if err != nil {
+				t.Fatalf("tasks=%d workers=%d run1: %v", tasks, workers, err)
+			}
+			s2, st2, err := RSchedule(g, a, opts)
+			if err != nil {
+				t.Fatalf("tasks=%d workers=%d run2: %v", tasks, workers, err)
+			}
+			if errs := schedule.Check(s1); len(errs) > 0 {
+				t.Fatalf("tasks=%d workers=%d: invalid schedule: %v", tasks, workers, errs[0])
+			}
+			if !reflect.DeepEqual(s1, s2) {
+				t.Errorf("tasks=%d workers=%d: schedules differ between runs (makespan %d vs %d)",
+					tasks, workers, s1.Makespan, s2.Makespan)
+			}
+			if st1.Iterations != 30 || st2.Iterations != 30 {
+				t.Errorf("tasks=%d workers=%d: iterations %d/%d, want 30 (every global iteration exactly once)",
+					tasks, workers, st1.Iterations, st2.Iterations)
+			}
+			if st1.FloorplanCalls != st2.FloorplanCalls || st1.Discarded != st2.Discarded {
+				t.Errorf("tasks=%d workers=%d: counters differ between runs: %+v vs %+v",
+					tasks, workers, st1, st2)
+			}
+		}
+	}
+}
+
+// TestParallelHistoryMonotone asserts the merged improvement history is
+// sorted: Elapsed must be monotone non-decreasing after the per-worker
+// histories are interleaved (the satellite contract RandomStats.History
+// documents).
+func TestParallelHistoryMonotone(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 40, Seed: 99})
+	a := arch.ZedBoard()
+	_, stats, err := RSchedule(g, a, RandomOptions{MaxIterations: 40, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.History) == 0 {
+		t.Fatal("no improvements recorded")
+	}
+	for i := 1; i < len(stats.History); i++ {
+		if stats.History[i].Elapsed < stats.History[i-1].Elapsed {
+			t.Fatalf("history Elapsed not monotone at %d: %v < %v",
+				i, stats.History[i].Elapsed, stats.History[i-1].Elapsed)
+		}
+	}
+	if stats.CapacityFactor > 1.0 || stats.CapacityFactor < capFloor*capShrink {
+		t.Errorf("capacity factor %v outside [%v, 1]", stats.CapacityFactor, capFloor*capShrink)
+	}
+}
+
+// TestParallelBudgetCancel proves a Cancel on the caller's budget stops all
+// workers promptly: an unbounded search (no iteration cap, no time budget)
+// must return shortly after the cancel instead of spinning.
+func TestParallelBudgetCancel(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 40, Seed: 5})
+	a := arch.ZedBoard()
+	bud := budget.New(budget.Options{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := RSchedule(g, a, RandomOptions{Budget: bud, Seed: 1, Workers: 4})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	bud.Cancel()
+	select {
+	case err := <-done:
+		// Workers that found an incumbent return it; otherwise the fallback
+		// runs under the cancelled budget and surfaces a typed error.
+		if err != nil && !errors.Is(err, budget.ErrExhausted) {
+			t.Fatalf("unexpected error after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers did not stop within 10s of Cancel")
+	}
+}
+
+// TestParallelWorkerValidation rejects a negative worker count.
+func TestParallelWorkerValidation(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 10, Seed: 1})
+	if _, _, err := RSchedule(g, arch.ZedBoard(), RandomOptions{MaxIterations: 2, Workers: -3}); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}
+
+// TestMixSeedStreams pins that worker seed streams are pairwise distinct for
+// realistic pool sizes — equal streams would make workers duplicate work.
+func TestMixSeedStreams(t *testing.T) {
+	seen := map[int64]int{}
+	for _, seed := range []int64{0, 1, -1, 7, 1 << 40} {
+		for w := 0; w < 64; w++ {
+			s := mixSeed(seed, w)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("mixSeed collision: seed=%d w=%d equals earlier stream %d", seed, w, prev)
+			}
+			seen[s] = w
+		}
+	}
+}

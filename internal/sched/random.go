@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"resched/internal/arch"
@@ -35,6 +36,15 @@ type RandomOptions struct {
 	Faults *faultinject.Set
 	// Seed initialises the random generator; runs are reproducible.
 	Seed int64
+	// Workers sets the number of search goroutines. 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 runs the historical sequential search
+	// unchanged (byte-identical schedules and RNG stream). With W > 1 the
+	// global iteration sequence 0,1,2,… is strided across workers (worker w
+	// owns iterations w, w+W, w+2W, …), each worker draws from its own
+	// seeded generator, and the incumbents are reduced under a total order
+	// — so the result is a pure function of (Seed, Workers, MaxIterations),
+	// independent of goroutine interleaving.
+	Workers int
 	// ModuleReuse is forwarded to the inner scheduler.
 	ModuleReuse bool
 	// Floorplan configures the feasibility queries on improving solutions.
@@ -47,6 +57,11 @@ type RandomOptions struct {
 	// and recording never perturbs the seeded search.
 	Trace *obs.Trace
 }
+
+// Virtual-capacity shrinking on floorplan-infeasible candidates: each
+// discard multiplies the (worker-local) accounting capacity factor by
+// capShrink, never below capFloor.
+const capShrink, capFloor = 0.92, 0.40
 
 // ImprovementPoint records when the incumbent improved, for the
 // anytime-convergence analysis of Fig. 6.
@@ -71,9 +86,16 @@ type RandomStats struct {
 	// CapacityFactor is the final virtual-capacity scaling: PA-R shrinks
 	// its accounting capacity whenever a candidate is discarded as
 	// unplaceable, steering later iterations toward floorplannable region
-	// sets (the randomized counterpart of §V-H's restart-and-shrink).
+	// sets (the randomized counterpart of §V-H's restart-and-shrink). In a
+	// parallel search each worker shrinks its own factor (decisions stay
+	// worker-local so the search is interleaving-independent); this field
+	// reports the minimum across workers, maintained as a shared
+	// monotonically non-increasing value.
 	CapacityFactor float64
-	// History records every accepted improvement.
+	// History records every accepted improvement. After a parallel search
+	// the per-worker histories are merged and sorted, so Elapsed is always
+	// monotone non-decreasing across the slice; Makespan is strictly
+	// decreasing per worker but only the final entry is the global best.
 	History []ImprovementPoint
 	// Elapsed is the total search time.
 	Elapsed time.Duration
@@ -104,10 +126,21 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		return nil, nil, fmt.Errorf("sched: PA-R floorplans improving schedules: %w", err)
 	}
 
-	run := opts.Trace.Start("par.run", obs.Int("seed", opts.Seed))
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("sched: PA-R workers must be positive, got %d", opts.Workers)
+	}
+
+	run := opts.Trace.Start("par.run", obs.Int("seed", opts.Seed), obs.Int("workers", int64(workers)))
 	defer run.End()
 	if opts.Floorplan.Trace == nil {
 		opts.Floorplan.Trace = opts.Trace
+	}
+	if workers > 1 {
+		return rscheduleParallel(g, a, fabric, opts, workers)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
@@ -122,9 +155,9 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		SkipFloorplan: true,
 		Rand:          rng,
 		Budget:        bud,
+		scratch:       &state{},
 	}
 	capFactor := 1.0
-	const capShrink, capFloor = 0.92, 0.40
 	for {
 		if opts.MaxIterations > 0 && stats.Iterations >= opts.MaxIterations {
 			break
@@ -143,7 +176,8 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		if stats.Iterations == 0 {
 			runOpts.Rand = nil
 		}
-		it := opts.Trace.Start("par.iteration", obs.Int("iteration", int64(stats.Iterations)))
+		it := opts.Trace.Start("par.iteration",
+			obs.Int("iteration", int64(stats.Iterations)), obs.Int("worker", 0))
 		// Run at least one iteration even with a tiny budget.
 		innerBegin := time.Now()
 		sch, regionRes, err := runPipeline(g, a, maxRes, runOpts)

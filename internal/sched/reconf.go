@@ -16,9 +16,22 @@ type reconfTask struct {
 // buildReconfTasks derives the reconfiguration tasks from the region
 // contents: one per consecutive pair of tasks in a region, skipping pairs
 // that share an implementation name when module reuse is enabled (the
-// paper's future-work extension).
+// paper's future-work extension). The tasks live in a scratch backing array
+// sized up front, so the returned pointers stay stable (appends never
+// reallocate under them) yet nothing is heap-allocated per pair after the
+// first run at a given size.
 func (s *state) buildReconfTasks(moduleReuse bool) []*reconfTask {
-	var rts []*reconfTask
+	total := 0
+	for _, r := range s.regions {
+		if n := len(r.tasks); n > 1 {
+			total += n - 1
+		}
+	}
+	if cap(s.rtBuf) < total {
+		s.rtBuf = make([]reconfTask, 0, total)
+	}
+	s.rtBuf = s.rtBuf[:0]
+	rts := s.rtPtrBuf[:0]
 	for _, r := range s.regions {
 		tasks := s.regionTasksByStart(r)
 		for k := 1; k < len(tasks); k++ {
@@ -26,9 +39,11 @@ func (s *state) buildReconfTasks(moduleReuse bool) []*reconfTask {
 			if moduleReuse && s.selectedImpl(tin).Name == s.selectedImpl(tout).Name {
 				continue
 			}
-			rts = append(rts, &reconfTask{region: r, in: tin, out: tout})
+			s.rtBuf = append(s.rtBuf, reconfTask{region: r, in: tin, out: tout})
+			rts = append(rts, &s.rtBuf[len(s.rtBuf)-1])
 		}
 	}
+	s.rtPtrBuf = rts
 	return rts
 }
 
@@ -40,6 +55,22 @@ type channelSet struct {
 }
 
 func newChannelSet(n int) *channelSet { return &channelSet{chans: make([][]*reconfTask, n)} }
+
+// channels returns the state's reusable channelSet reset to n empty
+// controller timelines (their backing arrays are retained). The previous
+// result is invalidated; phases 7's placement and repair passes use it
+// strictly sequentially.
+func (s *state) channels(n int) *channelSet {
+	cs := &s.chanBuf
+	if cap(cs.chans) < n {
+		cs.chans = make([][]*reconfTask, n)
+	}
+	cs.chans = cs.chans[:n]
+	for c := range cs.chans {
+		cs.chans[c] = cs.chans[c][:0]
+	}
+	return cs
+}
 
 // earliest returns the channel and start of the earliest placement of a
 // dur-long reconfiguration beginning at or after tmin.
@@ -102,7 +133,7 @@ func (cs *channelSet) minLastEndChannel() (int, int64) {
 // subsequent repair pass handles every remaining interaction.
 func (s *state) scheduleReconfigs(moduleReuse bool) ([]*reconfTask, error) {
 	rts := s.buildReconfTasks(moduleReuse)
-	var crit, non []*reconfTask
+	crit, non := s.rtCritBuf[:0], s.rtNonBuf[:0]
 	for _, rt := range rts {
 		if s.critical(rt.out) {
 			crit = append(crit, rt)
@@ -110,13 +141,14 @@ func (s *state) scheduleReconfigs(moduleReuse bool) ([]*reconfTask, error) {
 			non = append(non, rt)
 		}
 	}
+	s.rtCritBuf, s.rtNonBuf = crit, non
 	byTmin := func(a []*reconfTask) {
 		sort.SliceStable(a, func(i, j int) bool { return s.end(a[i].in) < s.end(a[j].in) })
 	}
 	byTmin(crit)
 	byTmin(non)
 
-	cs := newChannelSet(s.a.ReconfiguratorCount())
+	cs := s.channels(s.a.ReconfiguratorCount())
 
 	// Critical reconfigurations: back-to-back on the least-loaded
 	// controller, each delay fully propagated (its outgoing task is on the
@@ -192,7 +224,8 @@ func (s *state) repairReconfigs(rts []*reconfTask) error {
 	}
 	guard := 100 + 4*len(rts) + 4*s.g.N()
 	for iter := 0; iter < guard; iter++ {
-		order := append([]*reconfTask(nil), rts...)
+		order := append(s.rtOrderBuf[:0], rts...)
+		s.rtOrderBuf = order
 		sort.SliceStable(order, func(i, j int) bool {
 			li, lj := s.end(order[i].in), s.end(order[j].in)
 			if li != lj {
@@ -204,7 +237,7 @@ func (s *state) repairReconfigs(rts []*reconfTask) error {
 			}
 			return order[i].out < order[j].out
 		})
-		cs := newChannelSet(s.a.ReconfiguratorCount())
+		cs := s.channels(s.a.ReconfiguratorCount())
 		changed := false
 		for _, rt := range order {
 			lo := s.end(rt.in)

@@ -9,19 +9,23 @@ import (
 // critical tasks first, then non-critical tasks, each class sorted by
 // decreasing efficiency index of its selected implementation (§V-C). When
 // rng is non-nil the non-critical class is randomly permuted instead — the
-// relaxation that defines the PA-R variant (§VI).
+// relaxation that defines the PA-R variant (§VI). The result aliases a
+// scratch buffer valid until the next pipeline run.
 func (s *state) hwOrder(isCritical []bool, rng *rand.Rand) []int {
-	var crit, non []int
+	order := s.orderBuf[:0]
 	for t := 0; t < s.g.N(); t++ {
-		if !s.isHW(t) {
-			continue
-		}
-		if isCritical[t] {
-			crit = append(crit, t)
-		} else {
-			non = append(non, t)
+		if s.isHW(t) && isCritical[t] {
+			order = append(order, t)
 		}
 	}
+	nCrit := len(order)
+	for t := 0; t < s.g.N(); t++ {
+		if s.isHW(t) && !isCritical[t] {
+			order = append(order, t)
+		}
+	}
+	s.orderBuf = order
+	crit, non := order[:nCrit], order[nCrit:]
 	byEff := func(ts []int) {
 		sort.SliceStable(ts, func(a, b int) bool {
 			ea := s.efficiency(s.selectedImpl(ts[a]))
@@ -41,7 +45,7 @@ func (s *state) hwOrder(isCritical []bool, rng *rand.Rand) []int {
 	} else {
 		byEff(non)
 	}
-	return append(crit, non...)
+	return order
 }
 
 // insertionStart looks for a start time for task t inside region r's busy

@@ -61,6 +61,13 @@ type Options struct {
 	// no-op, and recording never influences scheduling decisions: traced
 	// and untraced runs produce identical schedules.
 	Trace *obs.Trace
+
+	// scratch, when non-nil, is the reusable working arena the pipeline
+	// runs in. Repeat callers (shrink retries inside Schedule, PA-R
+	// iterations) set it once so buffers survive across runs; a nil scratch
+	// makes runPipeline allocate a fresh one. A scratch must never be
+	// shared between goroutines.
+	scratch *state
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +121,9 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 		opts.Floorplan.Faults = opts.Faults
 	}
 	stats := &Stats{}
+	if opts.scratch == nil {
+		opts.scratch = &state{}
+	}
 	maxRes := a.MaxRes
 	for attempt := 0; ; attempt++ {
 		if err := opts.Budget.Check(); err != nil {
@@ -169,9 +179,16 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	}
 }
 
-// runPipeline executes phases 1–7 and assembles the schedule.
+// runPipeline executes phases 1–7 and assembles the schedule. The returned
+// regionRes slice aliases the scratch arena and is only valid until the next
+// pipeline run on the same scratch (the caller hands it to the floorplanner
+// before retrying).
 func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts Options) (*schedule.Schedule, []resources.Vector, error) {
-	s := newState(g, a, maxRes)
+	s := opts.scratch
+	if s == nil {
+		s = &state{}
+	}
+	s.reset(g, a, maxRes)
 	s.strict = opts.StrictWindows
 
 	// checkBudget bounds how late a cancel can land: one phase at most.
@@ -197,7 +214,10 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 		sp.End()
 		return nil, nil, err
 	}
-	isCritical := make([]bool, g.N())
+	if cap(s.critBuf) < g.N() {
+		s.critBuf = make([]bool, g.N())
+	}
+	isCritical := s.critBuf[:g.N()]
 	for t := range isCritical {
 		isCritical[t] = s.critical(t)
 	}
@@ -256,10 +276,11 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 	}
 	sp.End(obs.Int("reconfigurations", int64(len(rts))))
 	sch := s.emit(rts, opts)
-	regionRes := make([]resources.Vector, len(s.regions))
-	for i, r := range s.regions {
-		regionRes[i] = r.res
+	regionRes := s.regionResBuf[:0]
+	for _, r := range s.regions {
+		regionRes = append(regionRes, r.res)
 	}
+	s.regionResBuf = regionRes
 	return sch, regionRes, nil
 }
 

@@ -14,6 +14,12 @@ import (
 // The combined dependency graph starts as the application task graph and
 // grows sequencing edges as tasks are ordered inside reconfigurable regions
 // and on processors.
+//
+// A state is embedded in a scratch arena and reused across shrink-retry
+// attempts and PA-R iterations: reset re-slices the preallocated buffers
+// instead of reallocating them, which is what keeps the per-iteration
+// allocation count flat. A state must only ever be used by one goroutine —
+// parallel searches give every worker its own scratch.
 type state struct {
 	g *taskgraph.Graph
 	a *arch.Architecture
@@ -27,6 +33,7 @@ type state struct {
 	// floorplanner can actually place.
 	cellSize resources.Vector
 	// footprints caches fabric-aware capacity footprints per requirement.
+	// The cache is pure (fabric geometry is immutable) and survives resets.
 	footprints map[resources.Vector]resources.Vector
 	// strict selects the ablation mode that uses the literal §V-C
 	// window-disjointness test instead of slot-insertion compatibility.
@@ -38,24 +45,47 @@ type state struct {
 	dur []int64
 
 	// Combined dependency graph: application edges + sequencing edges.
+	// The inner succ/pred slices retain their capacity across resets.
 	succ    [][]int
 	pred    [][]int
 	edgeSet map[[2]int]bool
 
-	// regions and placement bookkeeping.
-	regions  []*regionState
-	regionOf []int // region index per task, -1 for software tasks
-	procOf   []int // processor per software task, -1 before mapping
-	usedRes  resources.Vector
+	// regions and placement bookkeeping. regionPool recycles regionState
+	// objects (and their task slices) across resets.
+	regions    []*regionState
+	regionPool []*regionState
+	regionOf   []int // region index per task, -1 for software tasks
+	procOf     []int // processor per software task, -1 before mapping
+	usedRes    resources.Vector
 
 	// release[t] is an externally imposed earliest start (reconfiguration
 	// induced delays).
 	release []int64
 
 	// Current timing (recomputed by retime): est doubles as the start
-	// time, lft is the latest finish without extending the makespan.
+	// time, lft is the latest finish without extending the makespan. Both
+	// alias the cpm workspace and are rewritten in place by every retime.
 	est, lft []int64
 	makespan int64
+
+	// cpmWS reuses the topological-order and timing buffers across the
+	// many re-timing passes of a single run (one per sequencing edge).
+	cpmWS cpm.Workspace
+
+	// Phase-local scratch buffers, each reused via [:0] re-slicing.
+	orderBuf       []int              // hwOrder result
+	critBuf        []bool             // per-task criticality snapshot
+	regionOrderBuf []int              // regionTasksByStart result
+	swBuf          []int              // software-task lists (phases 4 and 6)
+	procEndBuf     []int64            // per-processor end times (phase 6)
+	procLastBuf    []int              // per-processor last task (phase 6)
+	rtBuf          []reconfTask       // reconfiguration task backing store
+	rtPtrBuf       []*reconfTask      // reconfiguration task pointers
+	rtCritBuf      []*reconfTask      // critical partition (phase 7)
+	rtNonBuf       []*reconfTask      // non-critical partition (phase 7)
+	rtOrderBuf     []*reconfTask      // repair-pass ordering buffer
+	chanBuf        channelSet         // controller timelines, reused
+	regionResBuf   []resources.Vector // per-region requirement vectors
 }
 
 // regionState is a reconfigurable region under construction.
@@ -67,23 +97,50 @@ type regionState struct {
 	tasks  []int
 }
 
-// newState initialises the working state for one scheduling run.
+// newState initialises a fresh working state for one scheduling run. Callers
+// that run the pipeline repeatedly (shrink retries, PA-R iterations) should
+// construct the state once and reset it between runs.
 func newState(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector) *state {
+	s := &state{}
+	s.reset(g, a, maxRes)
+	return s
+}
+
+// reset (re)initialises the state for a run on the given instance, reusing
+// every buffer the previous run left behind. It is equivalent to a fresh
+// newState: all derived data — sequencing edges, regions, timings, releases
+// — is cleared, so runs after a reset are bit-identical to first runs.
+func (s *state) reset(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector) {
 	n := g.N()
-	s := &state{
-		g:        g,
-		a:        a,
-		maxRes:   maxRes,
-		weights:  resources.WeightsFor(a.MaxRes),
-		impl:     make([]int, n),
-		dur:      make([]int64, n),
-		succ:     make([][]int, n),
-		pred:     make([][]int, n),
-		edgeSet:  make(map[[2]int]bool, n*2),
-		regionOf: make([]int, n),
-		procOf:   make([]int, n),
-		release:  make([]int64, n),
+	s.g, s.a, s.maxRes = g, a, maxRes
+	s.weights = resources.WeightsFor(a.MaxRes)
+	s.strict = false
+	s.usedRes = resources.Vector{}
+	s.makespan = 0
+
+	if cap(s.impl) < n {
+		s.impl = make([]int, n)
+		s.dur = make([]int64, n)
+		s.regionOf = make([]int, n)
+		s.procOf = make([]int, n)
+		s.release = make([]int64, n)
+		s.succ = make([][]int, n)
+		s.pred = make([][]int, n)
 	}
+	s.impl = s.impl[:n]
+	s.dur = s.dur[:n]
+	s.regionOf = s.regionOf[:n]
+	s.procOf = s.procOf[:n]
+	s.release = s.release[:n]
+	s.succ = s.succ[:n]
+	s.pred = s.pred[:n]
+	if s.edgeSet == nil {
+		s.edgeSet = make(map[[2]int]bool, n*2)
+	} else {
+		clear(s.edgeSet)
+	}
+	s.regions = s.regions[:0]
+
 	for k := range s.cellSize {
 		s.cellSize[k] = 1
 		if a.Fabric != nil && a.Fabric.UnitsPerCell[k] > 0 {
@@ -91,15 +148,17 @@ func newState(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector)
 		}
 	}
 	for t := 0; t < n; t++ {
-		s.succ[t] = append([]int(nil), g.Succ(t)...)
-		s.pred[t] = append([]int(nil), g.Pred(t)...)
+		s.impl[t] = 0
+		s.dur[t] = 0
+		s.release[t] = 0
+		s.succ[t] = append(s.succ[t][:0], g.Succ(t)...)
+		s.pred[t] = append(s.pred[t][:0], g.Pred(t)...)
 		s.regionOf[t] = -1
 		s.procOf[t] = -1
 		for _, v := range g.Succ(t) {
 			s.edgeSet[[2]int{t, v}] = true
 		}
 	}
-	return s
 }
 
 // footprint estimates the device capacity a region of the given requirement
@@ -154,15 +213,16 @@ func (s *state) isHW(t int) bool { return s.selectedImpl(t).Kind == taskgraph.HW
 // retime recomputes the time windows over the combined graph: est (which is
 // also the start time of the schedule under construction — §V-E sets
 // T_START = T_MIN) via a forward pass honouring releases, lft via the
-// backward pass against the resulting makespan.
+// backward pass against the resulting makespan. The timing arrays alias the
+// reusable cpm workspace and are overwritten in place on every call.
 func (s *state) retime() error {
 	// Sequencing edges communicate for free; application edges carry their
 	// declared communication time.
-	r, err := cpm.ComputeEdges(s.g.N(), s.succ, s.pred, s.dur, s.release, -1, s.g.EdgeComm)
+	est, lft, makespan, err := s.cpmWS.ComputeEdges(s.g.N(), s.succ, s.pred, s.dur, s.release, -1, s.g.EdgeComm)
 	if err != nil {
 		return fmt.Errorf("sched: %w", err)
 	}
-	s.est, s.lft, s.makespan = r.EST, r.LFT, r.Makespan
+	s.est, s.lft, s.makespan = est, lft, makespan
 	return nil
 }
 
@@ -185,14 +245,22 @@ func (s *state) delay(t int, notBefore int64) error {
 	return s.retime()
 }
 
-// newRegion opens a reconfigurable region sized for requirement res.
+// newRegion opens a reconfigurable region sized for requirement res,
+// recycling a pooled regionState (and its task slice) when one is free.
 func (s *state) newRegion(res resources.Vector) *regionState {
-	r := &regionState{
-		id:     len(s.regions),
-		res:    res,
-		bits:   s.a.BitstreamBits(res),
-		reconf: s.a.ReconfTime(res),
+	id := len(s.regions)
+	var r *regionState
+	if id < len(s.regionPool) {
+		r = s.regionPool[id]
+		r.tasks = r.tasks[:0]
+	} else {
+		r = &regionState{}
+		s.regionPool = append(s.regionPool, r)
 	}
+	r.id = id
+	r.res = res
+	r.bits = s.a.BitstreamBits(res)
+	r.reconf = s.a.ReconfTime(res)
 	s.regions = append(s.regions, r)
 	s.usedRes = s.usedRes.Add(s.footprint(res))
 	return r
@@ -231,8 +299,11 @@ func (s *state) assignToRegion(t int, r *regionState) error {
 }
 
 // regionTasksByStart returns region r's tasks sorted by current start time.
+// The result aliases a shared scratch buffer and is valid until the next
+// call.
 func (s *state) regionTasksByStart(r *regionState) []int {
-	out := append([]int(nil), r.tasks...)
+	out := append(s.regionOrderBuf[:0], r.tasks...)
+	s.regionOrderBuf = out
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && (s.est[out[j]] < s.est[out[j-1]] ||
 			(s.est[out[j]] == s.est[out[j-1]] && out[j] < out[j-1])); j-- {

@@ -31,12 +31,13 @@ func (s *state) totalReconfTime() int64 {
 func (s *state) balanceSoftware() error {
 	// Candidates: software tasks with at least one HW implementation,
 	// by ascending T_MIN.
-	var cand []int
+	cand := s.swBuf[:0]
 	for t := 0; t < s.g.N(); t++ {
 		if !s.isHW(t) && len(s.g.Tasks[t].HWImpls()) > 0 {
 			cand = append(cand, t)
 		}
 	}
+	s.swBuf = cand
 	sort.Slice(cand, func(a, b int) bool {
 		if s.est[cand[a]] != s.est[cand[b]] {
 			return s.est[cand[a]] < s.est[cand[b]]

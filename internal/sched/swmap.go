@@ -10,12 +10,13 @@ import (
 // edge behind the processor's previous task so the combined graph reflects
 // processor exclusivity; delays propagate through the usual re-timing.
 func (s *state) mapSoftware() error {
-	var sw []int
+	sw := s.swBuf[:0]
 	for t := 0; t < s.g.N(); t++ {
 		if !s.isHW(t) {
 			sw = append(sw, t)
 		}
 	}
+	s.swBuf = sw
 	if len(sw) > 0 && s.a.Processors == 0 {
 		return fmt.Errorf("sched: %d software tasks but the architecture has no processors", len(sw))
 	}
@@ -26,9 +27,14 @@ func (s *state) mapSoftware() error {
 		}
 		return sw[a] < sw[b]
 	})
-	procEnd := make([]int64, s.a.Processors)
-	procLast := make([]int, s.a.Processors)
+	if cap(s.procEndBuf) < s.a.Processors {
+		s.procEndBuf = make([]int64, s.a.Processors)
+		s.procLastBuf = make([]int, s.a.Processors)
+	}
+	procEnd := s.procEndBuf[:s.a.Processors]
+	procLast := s.procLastBuf[:s.a.Processors]
 	for p := range procLast {
+		procEnd[p] = 0
 		procLast[p] = -1
 	}
 	for _, t := range sw {

@@ -18,12 +18,43 @@ func (g *Graph) TopoOrder() ([]int, error) {
 // (application edges plus sequencing edges). pred may be nil, in which case
 // it is derived from succ.
 func TopoOrderAdj(n int, succ, pred [][]int) ([]int, error) {
-	indeg := make([]int, n)
+	var ts TopoScratch
+	return ts.OrderAdj(n, succ, pred)
+}
+
+// TopoScratch holds the working buffers of repeated topological sorts so hot
+// paths (the scheduler re-times its combined graph after every sequencing
+// edge) stop reallocating them. The zero value is ready to use; the scratch
+// grows to the largest n it has seen. Not safe for concurrent use — give
+// each worker its own scratch.
+type TopoScratch struct {
+	indeg []int
+	heap  []int
+	order []int
+}
+
+// grow ensures the buffers hold n nodes.
+func (ts *TopoScratch) grow(n int) {
+	if cap(ts.indeg) < n {
+		ts.indeg = make([]int, n)
+		ts.heap = make([]int, 0, n)
+		ts.order = make([]int, 0, n)
+	}
+}
+
+// OrderAdj is TopoOrderAdj reusing the scratch buffers. The returned slice
+// aliases the scratch and is valid until the next call.
+func (ts *TopoScratch) OrderAdj(n int, succ, pred [][]int) ([]int, error) {
+	ts.grow(n)
+	indeg := ts.indeg[:n]
 	if pred != nil {
 		for v := range indeg {
 			indeg[v] = len(pred[v])
 		}
 	} else {
+		for v := range indeg {
+			indeg[v] = 0
+		}
 		for _, ss := range succ {
 			for _, v := range ss {
 				indeg[v]++
@@ -31,7 +62,7 @@ func TopoOrderAdj(n int, succ, pred [][]int) ([]int, error) {
 		}
 	}
 	// Min-heap on node ID for deterministic orders.
-	heap := make([]int, 0, n)
+	heap := ts.heap[:0]
 	push := func(v int) {
 		heap = append(heap, v)
 		for i := len(heap) - 1; i > 0; {
@@ -70,7 +101,7 @@ func TopoOrderAdj(n int, succ, pred [][]int) ([]int, error) {
 			push(v)
 		}
 	}
-	order := make([]int, 0, n)
+	order := ts.order[:0]
 	for len(heap) > 0 {
 		v := pop()
 		order = append(order, v)
