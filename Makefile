@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet bench bench-all benchcmp fuzz
+.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz
 
-verify: fmt-check vet build race reschedvet
+verify: fmt-check vet build race reschedvet solvecheck
 	@echo "verify: all gates passed"
 
 fmt-check:
@@ -30,6 +30,12 @@ race:
 
 reschedvet:
 	$(GO) run ./cmd/reschedvet ./...
+
+# solvecheck re-runs just the solver-dispatch analyzer as its own gate: no
+# package outside the solve adapters may assemble cross-cutting option
+# structs for more than one algorithm (drivers go through solve.Get).
+solvecheck:
+	$(GO) run ./cmd/reschedvet -analyzers solvecheck ./...
 
 # fuzz runs each native fuzz target for a short budget. The checked-in seed
 # corpora under testdata/fuzz also execute during the plain test suite, so

@@ -1,15 +1,23 @@
 // Command pasched schedules a task-graph JSON file on a reconfigurable
-// architecture using the paper's PA or PA-R schedulers (or the IS-k
-// baseline for comparison) and prints the resulting schedule.
+// architecture using any solver registered in the unified solve engine
+// (internal/solve) — the paper's PA and PA-R schedulers, the IS-k baseline,
+// the exhaustive reference and the robust degradation ladder — and prints
+// the resulting schedule.
 //
 // Usage:
 //
-//	pasched -graph app.json [-algo pa|par|is1|is5|robust] [-budget 2s]
-//	        [-reuse] [-gantt] [-dot out.dot] [-seed 7] [-workers 0]
-//	        [-timeout 0] [-maxnodes 0]
+//	pasched -graph app.json [-algo pa|par|is1|is5|exact|robust]
+//	        [-budget 2s] [-iterations 0] [-reuse] [-gantt] [-dot out.dot]
+//	        [-seed 1] [-workers 0] [-timeout 0] [-maxnodes 0]
 //	        [-fault-floorplan-infeasible N] [-fault-milp-limit N]
 //	        [-trace trace.json] [-metrics metrics.json]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The -algo values are exactly the registered solver names (solve.List);
+// a new solver registered with solve.Register becomes reachable here with
+// no dispatch change. -budget bounds PA-R's wall-clock search and
+// -iterations caps its inner runs (also the ladder's PA-R rung); use
+// -budget 0 -iterations N for a deterministic, machine-independent run.
 //
 // With -trace the run is recorded as a Chrome trace-event file (open it in
 // Perfetto or chrome://tracing); -metrics writes the flat counters/span
@@ -32,16 +40,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"resched/internal/arch"
 	"resched/internal/budget"
 	"resched/internal/faultinject"
-	"resched/internal/isk"
 	"resched/internal/obs"
 	"resched/internal/sched"
 	"resched/internal/schedule"
 	"resched/internal/sim"
+	"resched/internal/solve"
 	"resched/internal/taskgraph"
 )
 
@@ -71,8 +80,9 @@ func exitCode(err error) int {
 func run() error {
 	var (
 		graphPath   = flag.String("graph", "", "task-graph JSON file (required)")
-		algo        = flag.String("algo", "pa", "scheduler: pa, par, is1 or is5")
+		algo        = flag.String("algo", "pa", "solver: "+strings.Join(solve.List(), ", "))
 		parBudget   = flag.Duration("budget", 2*time.Second, "PA-R time budget")
+		iterations  = flag.Int("iterations", 0, "PA-R iteration cap (0 = unlimited; with -budget 0 the run is deterministic)")
 		seed        = flag.Int64("seed", 1, "PA-R random seed")
 		workers     = flag.Int("workers", 0, "PA-R search goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		reuse       = flag.Bool("reuse", false, "enable module reuse")
@@ -101,6 +111,10 @@ func run() error {
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	solver, err := solve.Get(*algo)
+	if err != nil {
+		return err
 	}
 
 	if *cpuProfile != "" {
@@ -166,82 +180,30 @@ func run() error {
 		}
 	}
 
-	a := arch.ZedBoard()
-	var sch *schedule.Schedule
-	report := struct {
-		scheduling, floorplanning time.Duration
-		retries, iterations       int
-	}{}
-	start := time.Now()
-	switch *algo {
-	case "pa":
-		var paStats *sched.Stats
-		sch, paStats, err = sched.Schedule(g, a, sched.Options{ModuleReuse: *reuse, Trace: trace, Budget: bud, Faults: faults})
-		if err == nil {
-			report.scheduling = paStats.SchedulingTime
-			report.floorplanning = paStats.FloorplanTime
-			report.retries = paStats.Retries
-			report.iterations = paStats.Attempts
-		}
-	case "par":
-		var parStats *sched.RandomStats
-		sch, parStats, err = sched.RSchedule(g, a, sched.RandomOptions{
-			TimeBudget: *parBudget, Seed: *seed, Workers: *workers,
-			ModuleReuse: *reuse, Trace: trace,
-			Budget: bud, Faults: faults,
-		})
-		if err == nil {
-			report.scheduling = parStats.SchedulingTime
-			report.floorplanning = parStats.FloorplanTime
-			report.retries = parStats.Discarded
-			report.iterations = parStats.Iterations
-			fmt.Printf("floorplan calls %d, discarded %d, improvements %d\n",
-				parStats.FloorplanCalls, parStats.Discarded, len(parStats.History))
-		}
-	case "is1", "is5":
-		k := 1
-		if *algo == "is5" {
-			k = 5
-		}
-		var iskStats *isk.Stats
-		sch, iskStats, err = isk.Schedule(g, a, isk.Options{K: k, ModuleReuse: *reuse, Trace: trace, Budget: bud, Faults: faults})
-		if err == nil {
-			report.scheduling = iskStats.SchedulingTime
-			report.floorplanning = iskStats.FloorplanTime
-			report.retries = iskStats.Retries
-			report.iterations = iskStats.Windows
-			fmt.Printf("windows %d, nodes %d\n", iskStats.Windows, iskStats.Nodes)
-		}
-	case "robust":
-		var res *sched.Result
-		res, err = sched.Robust(g, a, sched.RobustOptions{
-			ModuleReuse: *reuse, RandomTime: *parBudget, RandomSeed: *seed,
-			Budget: bud, Faults: faults, Trace: trace,
-		})
-		if err == nil {
-			sch = res.Schedule
-			fmt.Printf("rung: %s\n", res.Rung)
-			if s := res.ReasonSummary(); s != "" {
-				fmt.Printf("degraded: %s\n", s)
-			}
-			if res.Stats != nil {
-				report.scheduling = res.Stats.SchedulingTime
-				report.floorplanning = res.Stats.FloorplanTime
-				report.retries = res.Stats.Retries
-				report.iterations = res.Stats.Attempts
-			}
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	req := &solve.Request{
+		Graph: g,
+		Arch:  arch.ZedBoard(),
+		Options: solve.Options{
+			ModuleReuse:   *reuse,
+			Seed:          *seed,
+			Workers:       *workers,
+			TimeBudget:    *parBudget,
+			MaxIterations: *iterations,
+			Budget:        bud,
+			Faults:        faults,
+			Trace:         trace,
+		},
 	}
+	start := time.Now()
+	res, err := solver.Solve(req)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scheduling %v, floorplanning %v, retries %d, iterations %d\n",
-		report.scheduling.Round(time.Microsecond),
-		report.floorplanning.Round(time.Microsecond),
-		report.retries, report.iterations)
+	if err := res.WriteReport(os.Stdout); err != nil {
+		return err
+	}
 	fmt.Printf("total %v\n", time.Since(start).Round(time.Microsecond))
+	sch := res.Schedule
 	if errs := schedule.Check(sch); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "invalid schedule:", e)

@@ -1,8 +1,8 @@
 // Command reschedvet runs the repository's custom static-analysis suite
 // (internal/analyze) over the module: the analyzers machine-check the
 // determinism and correctness invariants the schedulers depend on —
-// maporder, globalrand, floateq, sortstable, errdrop, rawclock and
-// seedshare.
+// maporder, globalrand, floateq, sortstable, errdrop, rawclock, seedshare
+// and solvecheck.
 //
 // Usage:
 //

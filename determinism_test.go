@@ -3,64 +3,77 @@ package repro
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"resched/internal/arch"
 	"resched/internal/benchgen"
-	"resched/internal/sched"
 	"resched/internal/schedule"
+	"resched/internal/solve"
 )
 
-// TestSchedulerDeterminism is the behavioural counterpart of the reschedvet
-// static checks: PA is a deterministic heuristic and PA-R is seeded, so two
-// runs on the same 50-task graph must produce deeply equal schedules —
-// task assignments, region definitions and reconfiguration slots included.
-// The IS-k comparisons and the convergence experiments of EXPERIMENTS.md
-// are meaningless without this property.
-func TestSchedulerDeterminism(t *testing.T) {
-	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
+// TestRegistryDeterminism is the behavioural counterpart of the reschedvet
+// static checks, driven off the solver registry so every algorithm the repo
+// ships — present and future — is covered without editing this test: each
+// registered solver is run twice on the same graph and the two solve.Results
+// must be deeply equal once wall-clock readings are zeroed. PA and the
+// baselines are deterministic by construction and PA-R is seeded (with an
+// iteration cap, not a time budget, so the workload itself is fixed); the
+// IS-k comparisons and the convergence experiments of EXPERIMENTS.md are
+// meaningless without this property.
+func TestRegistryDeterminism(t *testing.T) {
 	a := arch.ZedBoard()
+	big := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
 
-	runPA := func() *schedule.Schedule {
-		t.Helper()
-		s, _, err := sched.Schedule(g, a, sched.Options{})
-		if err != nil {
-			t.Fatalf("PA: %v", err)
-		}
-		return s
+	for _, name := range solve.List() {
+		t.Run(name, func(t *testing.T) {
+			solver, err := solve.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Solvers that advertise an instance-size ceiling (the
+			// exhaustive reference) get a graph they accept.
+			g := big
+			if m, ok := solver.(interface{ MaxTasks() int }); ok && len(big.Tasks) > m.MaxTasks() {
+				g = genGraph(t, benchgen.Config{Tasks: m.MaxTasks() - 2, Seed: 424242})
+			}
+			run := func() *solve.Result {
+				t.Helper()
+				r, err := solver.Solve(&solve.Request{
+					Graph: g,
+					Arch:  a,
+					// An iteration cap (not a wall-clock budget) and a
+					// single worker keep the randomized search identical
+					// across the two runs.
+					Options: solve.Options{Seed: 7, MaxIterations: 40, Workers: 1},
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if errs := schedule.Check(r.Schedule); len(errs) > 0 {
+					t.Fatalf("%s produced an invalid schedule: %v", name, errs[0])
+				}
+				scrubDurations(r)
+				return r
+			}
+			r1, r2 := run(), run()
+			if !reflect.DeepEqual(r1.Schedule, r2.Schedule) {
+				t.Errorf("%s: schedules differ between runs", name)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("%s: solve.Results differ between runs (beyond the schedule)", name)
+			}
+		})
 	}
-	// An iteration cap (not a wall-clock budget) keeps the PA-R workload
-	// itself identical across the two runs.
-	runPAR := func() *schedule.Schedule {
-		t.Helper()
-		s, _, err := sched.RSchedule(g, a, sched.RandomOptions{MaxIterations: 40, Seed: 7})
-		if err != nil {
-			t.Fatalf("PA-R: %v", err)
-		}
-		return s
-	}
+}
 
-	assertEqual := func(name string, s1, s2 *schedule.Schedule) {
-		t.Helper()
-		if errs := schedule.Check(s1); len(errs) > 0 {
-			t.Fatalf("%s produced an invalid schedule: %v", name, errs[0])
-		}
-		if !reflect.DeepEqual(s1.Regions, s2.Regions) {
-			t.Errorf("%s: region definitions differ between runs:\n  run1: %v\n  run2: %v", name, s1.Regions, s2.Regions)
-		}
-		if !reflect.DeepEqual(s1.Tasks, s2.Tasks) {
-			t.Errorf("%s: task assignments differ between runs", name)
-		}
-		if !reflect.DeepEqual(s1.Reconfs, s2.Reconfs) {
-			t.Errorf("%s: reconfiguration slots differ between runs:\n  run1: %v\n  run2: %v", name, s1.Reconfs, s2.Reconfs)
-		}
-		if s1.Makespan != s2.Makespan {
-			t.Errorf("%s: makespan %d vs %d", name, s1.Makespan, s2.Makespan)
-		}
-		if !reflect.DeepEqual(s1, s2) {
-			t.Errorf("%s: schedules differ between runs (beyond the fields compared above)", name)
+// scrubDurations zeroes every wall-clock reading in a solve.Result so that
+// reflect.DeepEqual compares only the deterministic payload.
+func scrubDurations(r *solve.Result) {
+	r.SchedulingTime, r.FloorplanTime = 0, 0
+	if s := r.Search; s != nil {
+		s.Elapsed = 0
+		for i := range s.History {
+			s.History[i].Elapsed = time.Duration(0)
 		}
 	}
-
-	assertEqual("PA", runPA(), runPA())
-	assertEqual("PA-R", runPAR(), runPAR())
 }

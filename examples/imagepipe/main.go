@@ -14,10 +14,9 @@ import (
 	"os"
 
 	"resched/internal/arch"
-	"resched/internal/isk"
 	"resched/internal/resources"
-	"resched/internal/sched"
 	"resched/internal/schedule"
+	"resched/internal/solve"
 	"resched/internal/taskgraph"
 )
 
@@ -66,24 +65,16 @@ func main() {
 	}
 
 	a := arch.ZedBoard()
-	pa, paStats, err := sched.Schedule(g, a, sched.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true})
-	if err != nil {
-		log.Fatal(err)
-	}
+	paRes := mustSolve("pa", g, a, solve.Options{})
+	is1 := mustSolve("is1", g, a, solve.Options{ModuleReuse: true}).Schedule
 	// All-software reference on the dual-core CPU.
 	swOnly := g.Clone()
 	for _, task := range swOnly.Tasks {
 		task.Impls = task.Impls[:1]
 	}
-	swRef, _, err := sched.Schedule(swOnly, a, sched.Options{SkipFloorplan: true})
-	if err != nil {
-		log.Fatal(err)
-	}
+	swRef := mustSolve("pa", swOnly, a, solve.Options{SkipFloorplan: true}).Schedule
 
+	pa := paRes.Schedule
 	fmt.Printf("frame latency, all software (2 cores): %6d µs\n", swRef.Makespan)
 	fmt.Printf("frame latency, IS-1                  : %6d µs\n", is1.Makespan)
 	fmt.Printf("frame latency, PA                    : %6d µs  (%d regions, %d reconfigurations)\n",
@@ -99,10 +90,23 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("floorplan for PA's regions (%d placements):\n", len(paStats.Placements))
-	for i, p := range paStats.Placements {
+	fmt.Printf("floorplan for PA's regions (%d placements):\n", len(paRes.Placements))
+	for i, p := range paRes.Placements {
 		fmt.Printf("  region %d: %v at %v\n", i, pa.Regions[i].Res, p)
 	}
+}
+
+// mustSolve dispatches one registered solver, exiting on error.
+func mustSolve(name string, g *taskgraph.Graph, a *arch.Architecture, opts solve.Options) *solve.Result {
+	s, err := solve.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := s.Solve(&solve.Request{Graph: g, Arch: a, Options: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }
 
 // mustEdge adds a dependency, exiting on the (impossible for these literal

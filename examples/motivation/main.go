@@ -15,10 +15,9 @@ import (
 	"os"
 
 	"resched/internal/arch"
-	"resched/internal/isk"
 	"resched/internal/resources"
-	"resched/internal/sched"
 	"resched/internal/schedule"
+	"resched/internal/solve"
 	"resched/internal/taskgraph"
 )
 
@@ -55,14 +54,8 @@ func main() {
 	}
 
 	g := buildGraph()
-	pa, _, err := sched.Schedule(g, a, sched.Options{SkipFloorplan: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, SkipFloorplan: true})
-	if err != nil {
-		log.Fatal(err)
-	}
+	pa := mustSolve("pa", g, a)
+	is1 := mustSolve("is1", g, a)
 	for _, sch := range []*schedule.Schedule{pa, is1} {
 		if err := schedule.Valid(sch); err != nil {
 			log.Fatal(err)
@@ -77,6 +70,24 @@ func main() {
 	fmt.Println("PA's resource-efficient choice for t1 frees device area for the")
 	fmt.Println("dependent tasks; the greedy baseline's locally-fastest choice")
 	fmt.Println("forces them into software (§IV of the paper).")
+}
+
+// mustSolve dispatches one registered solver with floorplanning skipped (the
+// synthetic fig1-device has no fabric geometry), exiting on error.
+func mustSolve(name string, g *taskgraph.Graph, a *arch.Architecture) *schedule.Schedule {
+	s, err := solve.Get(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := s.Solve(&solve.Request{
+		Graph:   g,
+		Arch:    a,
+		Options: solve.Options{SkipFloorplan: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r.Schedule
 }
 
 // mustEdge adds a dependency, exiting on the (impossible for these literal

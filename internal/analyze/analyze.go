@@ -81,6 +81,7 @@ func All() []*Analyzer {
 		ErrDrop,
 		RawClock,
 		SeedShare,
+		SolveCheck,
 	}
 }
 

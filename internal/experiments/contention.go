@@ -7,8 +7,7 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/benchgen"
-	"resched/internal/isk"
-	"resched/internal/sched"
+	"resched/internal/solve"
 )
 
 // ContentionConfig drives the contention-sweep study: the paper repeatedly
@@ -77,15 +76,15 @@ func RunContention(cfg ContentionConfig) ([]ContentionPoint, error) {
 			}
 			pt.DemandRatio += float64(demand) / float64(a.MaxRes[0])
 
-			pa, _, err := sched.Schedule(g, a, sched.Options{})
+			pa, err := runSolver("pa", g, a, solve.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("contention factor %v: PA: %w", f, err)
 			}
-			is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true})
+			is1, err := runSolver("is1", g, a, solve.Options{ModuleReuse: true})
 			if err != nil {
 				return nil, fmt.Errorf("contention factor %v: IS-1: %w", f, err)
 			}
-			par, _, err := sched.RSchedule(g, a, sched.RandomOptions{
+			par, err := runSolver("par", g, a, solve.Options{
 				TimeBudget: 50 * time.Millisecond, Seed: cfg.Seed + int64(idx),
 			})
 			if err != nil {

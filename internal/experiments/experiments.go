@@ -3,6 +3,11 @@
 // runs PA, PA-R, IS-1 and IS-5 over the 100-graph suite, aggregates
 // per-group statistics, and renders the same rows and series the paper
 // reports.
+//
+// Every algorithm column is dispatched through the unified solve engine
+// (internal/solve): the harness names a registered solver and hands it one
+// cross-cutting Options value, so adding an algorithm to the evaluation is
+// a registry lookup, not a new scheduler-specific code path.
 package experiments
 
 import (
@@ -18,12 +23,23 @@ import (
 	"resched/internal/benchgen"
 	"resched/internal/budget"
 	"resched/internal/faultinject"
-	"resched/internal/isk"
 	"resched/internal/obs"
 	"resched/internal/sched"
 	"resched/internal/schedule"
+	"resched/internal/solve"
 	"resched/internal/taskgraph"
 )
+
+// runSolver dispatches one registered solver on an instance through the
+// unified solve engine. It is the single entry point every experiment in
+// this package schedules through.
+func runSolver(name string, g *taskgraph.Graph, a *arch.Architecture, opts solve.Options) (*solve.Result, error) {
+	s, err := solve.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(&solve.Request{Graph: g, Arch: a, Options: opts})
+}
 
 // Config drives a full evaluation run.
 type Config struct {
@@ -256,43 +272,39 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 		obs.Int("group", int64(e.Group)), obs.Int("index", int64(e.Index)))
 	defer inst.End()
 
+	// Every column shares the cross-cutting concerns; each algorithm run
+	// below only adds its protocol-specific knobs on top.
+	base := solve.Options{Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults}
+	reuse := base
+	reuse.ModuleReuse = true
+
+	// column dispatches one registered solver and folds its Result into
+	// the uniform per-algorithm column; a failed run records Err and is
+	// excluded from aggregation, a checker rejection poisons the instance.
+	column := func(name string, opts solve.Options) (AlgoResult, error) {
+		t0 := time.Now()
+		r, err := runSolver(name, e.Graph, a, opts)
+		col := AlgoResult{Total: time.Since(t0), Err: err}
+		if err != nil {
+			return col, nil
+		}
+		col.Makespan = r.Makespan
+		col.Scheduling = r.SchedulingTime
+		col.Floorplanning = r.FloorplanTime
+		return col, check(r.Schedule)
+	}
+
+	var err error
 	// PA.
-	t0 := time.Now()
-	pa, paStats, err := sched.Schedule(e.Graph, a, sched.Options{Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
-	res.PA = AlgoResult{Total: time.Since(t0), Err: err}
-	if err == nil {
-		res.PA.Makespan = pa.Makespan
-		res.PA.Scheduling = paStats.SchedulingTime
-		res.PA.Floorplanning = paStats.FloorplanTime
-		if err := check(pa); err != nil {
-			return res, err
-		}
+	if res.PA, err = column("pa", base); err != nil {
+		return res, err
 	}
-
-	// IS-1 (module reuse enabled, §VII-A).
-	t0 = time.Now()
-	is1, is1Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 1, ModuleReuse: true, Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
-	res.IS1 = AlgoResult{Total: time.Since(t0), Err: err}
-	if err == nil {
-		res.IS1.Makespan = is1.Makespan
-		res.IS1.Scheduling = is1Stats.SchedulingTime
-		res.IS1.Floorplanning = is1Stats.FloorplanTime
-		if err := check(is1); err != nil {
-			return res, err
-		}
+	// IS-1 and IS-5 (module reuse enabled, §VII-A).
+	if res.IS1, err = column("is1", reuse); err != nil {
+		return res, err
 	}
-
-	// IS-5.
-	t0 = time.Now()
-	is5, is5Stats, err := isk.Schedule(e.Graph, a, isk.Options{K: 5, ModuleReuse: true, Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
-	res.IS5 = AlgoResult{Total: time.Since(t0), Err: err}
-	if err == nil {
-		res.IS5.Makespan = is5.Makespan
-		res.IS5.Scheduling = is5Stats.SchedulingTime
-		res.IS5.Floorplanning = is5Stats.FloorplanTime
-		if err := check(is5); err != nil {
-			return res, err
-		}
+	if res.IS5, err = column("is5", reuse); err != nil {
+		return res, err
 	}
 
 	// PA-R with the IS-5-matched budget (§VII-A: "PA-R was assigned a time
@@ -301,32 +313,28 @@ func runInstance(cfg Config, e benchgen.SuiteEntry) (InstanceResult, error) {
 	if parBudget < cfg.MinParBudget {
 		parBudget = cfg.MinParBudget
 	}
-	t0 = time.Now()
-	par, _, err := sched.RSchedule(e.Graph, a, sched.RandomOptions{TimeBudget: parBudget, Seed: cfg.Seed + int64(e.Group*100+e.Index), Trace: cfg.Trace, Budget: cfg.Budget, Faults: cfg.Faults})
-	res.PAR = AlgoResult{Total: time.Since(t0), Err: err}
-	if err == nil {
-		res.PAR.Makespan = par.Makespan
-		if err := check(par); err != nil {
-			return res, err
-		}
+	parOpts := base
+	parOpts.TimeBudget = parBudget
+	parOpts.Seed = cfg.Seed + int64(e.Group*100+e.Index)
+	if res.PAR, err = column("par", parOpts); err != nil {
+		return res, err
 	}
 
 	// Degradation ladder, when requested: records which rung fired under
 	// the configured budget and faults. By construction it only errors on
 	// instances no rung can schedule.
 	if cfg.Robust {
-		t0 = time.Now()
-		rres, rerr := sched.Robust(e.Graph, a, sched.RobustOptions{
-			ModuleReuse: true, RandomTime: parBudget,
-			RandomSeed: cfg.Seed + int64(e.Group*100+e.Index),
-			Budget:     cfg.Budget, Faults: cfg.Faults, Trace: cfg.Trace,
-		})
+		ropts := reuse
+		ropts.TimeBudget = parBudget
+		ropts.Seed = parOpts.Seed
+		t0 := time.Now()
+		r, rerr := runSolver("robust", e.Graph, a, ropts)
 		rr := &RobustResult{Total: time.Since(t0), Err: rerr}
 		if rerr == nil {
-			rr.Makespan = rres.Schedule.Makespan
-			rr.Rung = rres.Rung
-			rr.Degraded = len(rres.Reasons) > 0
-			if err := check(rres.Schedule); err != nil {
+			rr.Makespan = r.Makespan
+			rr.Rung = r.Ladder.Rung
+			rr.Degraded = r.Ladder.Degraded
+			if err := check(r.Schedule); err != nil {
 				return res, err
 			}
 		}

@@ -7,9 +7,7 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/benchgen"
-	"resched/internal/exact"
-	"resched/internal/isk"
-	"resched/internal/sched"
+	"resched/internal/solve"
 )
 
 // OptGapConfig drives the optimality-gap study: on instances small enough
@@ -52,13 +50,21 @@ func RunOptGap(cfg OptGapConfig) ([]OptGapPoint, error) {
 	if cfg.ParBudget == 0 {
 		cfg.ParBudget = 30 * time.Millisecond
 	}
+	// The exhaustive reference advertises its instance-size ceiling through
+	// the registry, so the sweep can validate sizes without importing it.
+	maxTasks := 0
+	if s, err := solve.Get("exact"); err == nil {
+		if m, ok := s.(interface{ MaxTasks() int }); ok {
+			maxTasks = m.MaxTasks()
+		}
+	}
 	// The small MicroZed device keeps even tiny instances contended, so
 	// the heuristics actually have decisions to get wrong.
 	a := arch.MicroZed7010()
 	var out []OptGapPoint
 	for _, n := range cfg.Sizes {
-		if n > exact.MaxTasks {
-			return nil, fmt.Errorf("experiments: size %d exceeds the exact-search limit %d", n, exact.MaxTasks)
+		if maxTasks > 0 && n > maxTasks {
+			return nil, fmt.Errorf("experiments: size %d exceeds the exact-search limit %d", n, maxTasks)
 		}
 		pt := OptGapPoint{Tasks: n}
 		for idx := 0; idx < cfg.Instances; idx++ {
@@ -66,29 +72,29 @@ func RunOptGap(cfg OptGapConfig) ([]OptGapPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			ref, stats, err := exact.Schedule(g, a, exact.Options{ModuleReuse: true})
+			ref, err := runSolver("exact", g, a, solve.Options{ModuleReuse: true})
 			if err != nil {
 				return nil, fmt.Errorf("optgap n=%d: exact: %w", n, err)
 			}
-			if stats.Proven {
+			if ref.Exact.Proven {
 				pt.Proven++
 			}
 			gap := func(mk int64) float64 {
 				return 100 * float64(mk-ref.Makespan) / float64(ref.Makespan)
 			}
-			pa, _, err := sched.Schedule(g, a, sched.Options{SkipFloorplan: true})
+			pa, err := runSolver("pa", g, a, solve.Options{SkipFloorplan: true})
 			if err != nil {
 				return nil, err
 			}
-			par, _, err := sched.RSchedule(g, a, sched.RandomOptions{TimeBudget: cfg.ParBudget, Seed: cfg.Seed + int64(idx)})
+			par, err := runSolver("par", g, a, solve.Options{TimeBudget: cfg.ParBudget, Seed: cfg.Seed + int64(idx)})
 			if err != nil {
 				return nil, err
 			}
-			is1, _, err := isk.Schedule(g, a, isk.Options{K: 1, ModuleReuse: true, SkipFloorplan: true})
+			is1, err := runSolver("is1", g, a, solve.Options{ModuleReuse: true, SkipFloorplan: true})
 			if err != nil {
 				return nil, err
 			}
-			is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true, SkipFloorplan: true})
+			is5, err := runSolver("is5", g, a, solve.Options{ModuleReuse: true, SkipFloorplan: true})
 			if err != nil {
 				return nil, err
 			}

@@ -9,8 +9,7 @@ import (
 
 	"resched/internal/arch"
 	"resched/internal/benchgen"
-	"resched/internal/isk"
-	"resched/internal/sched"
+	"resched/internal/solve"
 )
 
 // ParallelismConfig drives the DAG-shape study. The paper observes that
@@ -94,12 +93,12 @@ func RunParallelism(cfg ParallelismConfig) ([]ParallelismPoint, error) {
 			results[j].err = err
 			return
 		}
-		is5, _, err := isk.Schedule(g, a, isk.Options{K: 5, ModuleReuse: true})
+		is5, err := runSolver("is5", g, a, solve.Options{ModuleReuse: true})
 		if err != nil {
 			results[j].err = fmt.Errorf("parallelism layers=%d: IS-5: %w", layers, err)
 			return
 		}
-		par, _, err := sched.RSchedule(g, a, sched.RandomOptions{
+		par, err := runSolver("par", g, a, solve.Options{
 			TimeBudget: cfg.ParBudget, Seed: cfg.Seed + int64(idx),
 		})
 		if err != nil {

@@ -6,11 +6,12 @@ import (
 	"time"
 
 	"resched/internal/benchgen"
-	"resched/internal/sched"
+	"resched/internal/solve"
 )
 
-// seconds renders a duration with three decimals, as in Table I.
-func seconds(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+// seconds renders a duration with three decimals, as in Table I; the
+// formatting convention lives in the solve layer so every report agrees.
+var seconds = solve.Seconds
 
 // WriteTable1 renders the paper's Table I: per-group algorithm execution
 // times, with PA split into scheduling and floorplanning.
@@ -139,14 +140,14 @@ func RunFig6(cfg Config, fcfg Fig6Config) ([]Fig6Point, error) {
 		if entry == nil {
 			return nil, fmt.Errorf("experiments: no suite entry for group %d", group)
 		}
-		_, stats, err := sched.RSchedule(entry.Graph, cfg.Arch, sched.RandomOptions{
+		r, err := runSolver("par", entry.Graph, cfg.Arch, solve.Options{
 			TimeBudget: fcfg.Budget,
 			Seed:       fcfg.Seed + int64(group),
 		})
 		if err != nil {
 			return nil, err
 		}
-		for _, h := range stats.History {
+		for _, h := range r.Search.History {
 			out = append(out, Fig6Point{Group: group, Elapsed: h.Elapsed, Iteration: h.Iteration, Makespan: h.Makespan})
 		}
 	}

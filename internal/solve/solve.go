@@ -1,0 +1,98 @@
+// Package solve is the unified solver engine: one Request/Solver/Result
+// contract in front of every scheduling algorithm in the repository — the
+// deterministic PA heuristic (§V), the randomized PA-R search (§VI), the
+// IS-k MILP baseline (ref [6]), the exhaustive non-delay reference and the
+// robust degradation ladder.
+//
+// The paper evaluates its schedulers head-to-head on identical problem
+// instances; the related integrated-optimization line treats "which solver"
+// as a pluggable policy over a fixed instance. This package encodes that
+// view: a solve.Request carries the instance (graph + architecture) plus
+// one Options struct with every cross-cutting concern (budget, tracing,
+// fault injection, seed, workers, iteration and node caps), a solve.Solver
+// turns a Request into a solve.Result, and a deterministic registry maps
+// stable names ("pa", "par", "is1", "is5", "exact", "robust") to solvers so
+// frontends — the pasched CLI, the experiments harness, batch servers,
+// sharded sweeps — dispatch by name instead of re-implementing a switch
+// over five package APIs.
+//
+// The algorithm packages (internal/sched, internal/isk, internal/exact)
+// keep their native APIs; the solvers here are thin adapters that translate
+// Options into each package's option struct and normalize the heterogeneous
+// stats into one Result. Constructing more than one algorithm's raw option
+// struct outside this package is a solvecheck violation (internal/analyze):
+// dispatch lives here, once.
+package solve
+
+import (
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/budget"
+	"resched/internal/faultinject"
+	"resched/internal/floorplan"
+	"resched/internal/obs"
+	"resched/internal/taskgraph"
+)
+
+// Options carries every cross-cutting solver knob. Each solver reads the
+// subset it understands and ignores the rest, so one Options value can
+// drive any registered solver over the same instance — the property the
+// experiments harness and the CLI dispatch rely on. The zero value asks
+// for the historical defaults of every algorithm.
+type Options struct {
+	// ModuleReuse enables module reuse in every solver that supports it.
+	ModuleReuse bool
+	// SkipFloorplan omits the floorplan feasibility loop in the solvers
+	// that run one (PA, IS-k). PA-R always floorplans improving solutions
+	// and the exact reference never floorplans; both ignore it.
+	SkipFloorplan bool
+	// Floorplan configures the feasibility queries of the floorplanning
+	// solvers. Its Budget/Faults/Trace fields default to the ones below.
+	Floorplan floorplan.Options
+
+	// Seed drives the seeded randomization of PA-R (and the robust
+	// ladder's PA-R rung). Deterministic solvers ignore it.
+	Seed int64
+	// Workers sets PA-R's search parallelism (0 = GOMAXPROCS,
+	// 1 = sequential). Other solvers ignore it.
+	Workers int
+	// TimeBudget is PA-R's wall-clock search budget (timeToRun of
+	// Algorithm 1) and the robust ladder's PA-R rung budget.
+	TimeBudget time.Duration
+	// MaxIterations caps PA-R's inner runs (and the ladder's PA-R rung);
+	// 0 means unlimited (TimeBudget or Budget must then bound the search).
+	MaxIterations int
+	// MaxNodes caps the exhaustive searches: branch-and-bound nodes per
+	// IS-k window and total nodes of the exact reference (0 = each
+	// algorithm's historical default).
+	MaxNodes int
+
+	// Budget, when non-nil, bounds the whole solve: deadline, cumulative
+	// node cap and cooperative cancellation thread through every solver
+	// layer that supports them.
+	Budget *budget.Budget
+	// Faults, when armed, drives deterministic failure injection through
+	// the floorplanner and MILP engine of every solver.
+	Faults *faultinject.Set
+	// Trace, when non-nil, records the solver's span taxonomy (package
+	// obs). A nil trace is a no-op and tracing never perturbs schedules.
+	Trace *obs.Trace
+}
+
+// Request is one scheduling problem instance plus the unified options.
+type Request struct {
+	Graph *taskgraph.Graph
+	Arch  *arch.Architecture
+	Options
+}
+
+// Solver turns a Request into a Result. Implementations must be stateless
+// and safe for concurrent Solve calls: every registered solver is a pure
+// function of the request (plus the seed for the randomized ones).
+type Solver interface {
+	// Name is the stable registry name ("pa", "is5", ...).
+	Name() string
+	// Solve runs the algorithm on the instance.
+	Solve(*Request) (*Result, error)
+}
