@@ -37,12 +37,14 @@ reschedvet:
 solvecheck:
 	$(GO) run ./cmd/reschedvet -analyzers solvecheck ./...
 
-# fuzz runs each native fuzz target for a short budget. The checked-in seed
-# corpora under testdata/fuzz also execute during the plain test suite, so
-# regressions on known inputs are caught without this target.
+# fuzz runs each native fuzz target for a short budget (override with
+# FUZZTIME=5s for a CI smoke). The checked-in seed corpora under
+# testdata/fuzz also execute during the plain test suite, so regressions on
+# known inputs are caught without this target.
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzLoadGraphJSON -fuzztime 10s ./internal/taskgraph
-	$(GO) test -run '^$$' -fuzz FuzzCheckSchedule -fuzztime 10s ./internal/schedule
+	$(GO) test -run '^$$' -fuzz FuzzLoadGraphJSON -fuzztime $(FUZZTIME) ./internal/taskgraph
+	$(GO) test -run '^$$' -fuzz FuzzCheckSchedule -fuzztime $(FUZZTIME) ./internal/schedule
 
 # bench runs the Table I suite (plus the PA-R worker-scaling benchmarks)
 # and records it as structured JSON, the file successive PRs diff to track

@@ -1,19 +1,24 @@
 // Command reschedvet runs the repository's custom static-analysis suite
-// (internal/analyze) over the module: the analyzers machine-check the
-// determinism and correctness invariants the schedulers depend on —
-// maporder, globalrand, floateq, sortstable, errdrop, rawclock, seedshare
-// and solvecheck.
+// (internal/analyze) over the module. The v1 analyzers machine-check the
+// determinism invariants syntactically — maporder, globalrand, floateq,
+// sortstable, errdrop, rawclock, seedshare, solvecheck — and the v2
+// analyzers check flow-sensitive resource invariants on per-function
+// control-flow graphs (internal/analyze/cfg): spanleak, budgetloop,
+// lostcancel, goleak and arenaescape.
 //
 // Usage:
 //
-//	reschedvet [-analyzers maporder,floateq] [-list] [packages]
+//	reschedvet [-analyzers maporder,floateq] [-list] [-json] [-workers N] [packages]
 //
 // The package arguments accept ./... (the whole module, the default) or
 // directory paths to restrict the report. Findings are printed one per line
-// as "file:line: analyzer: message"; the exit status is 1 when violations
-// are found, 2 on usage or load errors. A finding is suppressed by a
-// line comment `//reschedvet:ignore <analyzer>` on the flagged line or the
-// line directly above it.
+// as "file:line: analyzer: message", or as a machine-readable JSON report
+// with -json; packages are analyzed in parallel (-workers caps the worker
+// count, 0 means GOMAXPROCS) and the report is byte-identical for any
+// worker count. The exit status is 1 when violations are found, 2 on usage
+// or load errors. A finding is suppressed by a line comment
+// `//reschedvet:ignore <analyzer>` on the flagged line or the line directly
+// above it.
 package main
 
 import (
@@ -28,14 +33,16 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list the analyzers and exit")
-		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		names   = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+		workers = flag.Int("workers", 0, "package-analysis workers (0 means GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range analyze.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %-8s %s\n", a.Name, severityOf(a), a.Doc)
 		}
 		return
 	}
@@ -61,14 +68,29 @@ func main() {
 		fatal(err)
 	}
 
-	findings := analyze.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	findings := analyze.RunParallel(pkgs, analyzers, *workers)
+	if *jsonOut {
+		rep := analyze.BuildReport(root, analyzers, findings)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "reschedvet: %d violation(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// severityOf renders the analyzer's effective severity for -list.
+func severityOf(a *analyze.Analyzer) analyze.Severity {
+	if a.Severity == "" {
+		return analyze.SevError
+	}
+	return a.Severity
 }
 
 // restrict filters the loaded packages down to the requested patterns:

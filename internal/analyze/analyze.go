@@ -25,14 +25,29 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Severity ranks a finding. Errors fail the reschedvet gate (exit status 1
+// and a red TestReschedvetClean); warnings are reported but advisory.
+type Severity string
+
+const (
+	// SevError findings break the build gate.
+	SevError Severity = "error"
+	// SevWarning findings are advisory.
+	SevWarning Severity = "warning"
 )
 
 // Finding is one rule violation at a source position.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
+	Severity Severity
 	Message  string
 }
 
@@ -47,17 +62,32 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the enforced invariant.
 	Doc string
+	// Severity ranks the analyzer's findings; the zero value means SevError.
+	Severity Severity
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
 
-// Pass gives an analyzer access to one type-checked package.
+// severity resolves the analyzer's effective severity.
+func (a *Analyzer) severity() Severity {
+	if a.Severity == "" {
+		return SevError
+	}
+	return a.Severity
+}
+
+// Pass gives an analyzer access to one type-checked package, plus the
+// module-wide index the flow-sensitive analyzers use to resolve callees
+// across package boundaries.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Module indexes every package of this Run (the analyzed package
+	// included), for cross-package callee resolution.
+	Module *Module
 
 	findings *[]Finding
 }
@@ -67,11 +97,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the v1 syntactic
+// analyzers first, then the v2 flow-sensitive ones built on internal/analyze/cfg.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -82,6 +114,11 @@ func All() []*Analyzer {
 		RawClock,
 		SeedShare,
 		SolveCheck,
+		SpanLeak,
+		BudgetLoop,
+		LostCancel,
+		GoLeak,
+		ArenaEscape,
 	}
 }
 
@@ -110,10 +147,30 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over the packages, drops suppressed findings,
-// and returns the remainder sorted by position.
+// and returns the remainder sorted by position. Packages are analyzed
+// concurrently on up to GOMAXPROCS workers; see RunParallel.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
+	return RunParallel(pkgs, analyzers, 0)
+}
+
+// RunParallel is Run with an explicit worker count (0 means GOMAXPROCS).
+// Each package is one unit of work; findings are collected per package and
+// merged under a total order (file, line, column, analyzer, message), so
+// the report is byte-identical for any worker count and any interleaving.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	mod := NewModule(pkgs)
+	perPkg := make([][]Finding, len(pkgs))
+	runOne := func(i int) {
+		pkg := pkgs[i]
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -121,18 +178,43 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				findings: &findings,
+				Module:   mod,
+				findings: &perPkg[i],
 			}
 			a.Run(pass)
 		}
 	}
+	if workers == 1 {
+		for i := range pkgs {
+			runOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pkgs) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	var kept []Finding
 	ign := ignoreIndex(pkgs)
-	for _, f := range findings {
-		if ign.suppressed(f) {
-			continue
+	for _, findings := range perPkg {
+		for _, f := range findings {
+			if ign.suppressed(f) {
+				continue
+			}
+			kept = append(kept, f)
 		}
-		kept = append(kept, f)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -141,6 +223,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
 		}
 		if a.Analyzer != b.Analyzer {
 			return a.Analyzer < b.Analyzer

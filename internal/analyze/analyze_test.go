@@ -124,7 +124,11 @@ func TestByName(t *testing.T) {
 // TestSuiteComplete pins the analyzer roster: removing an analyzer from
 // All() would silently stop enforcing its invariant module-wide.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"maporder", "globalrand", "floateq", "sortstable", "errdrop", "rawclock", "seedshare", "solvecheck"}
+	want := []string{
+		"maporder", "globalrand", "floateq", "sortstable", "errdrop",
+		"rawclock", "seedshare", "solvecheck",
+		"spanleak", "budgetloop", "lostcancel", "goleak", "arenaescape",
+	}
 	all := analyze.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

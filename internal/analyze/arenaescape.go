@@ -1,0 +1,210 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ArenaEscape guards the scratch-arena discipline in the hot solver paths:
+// types marked with a `//reschedvet:arena` directive on their declaration
+// (sched's per-solve state, for example) own reusable backing storage that
+// the next solve overwrites. A slice or map read out of an arena-marked
+// value must therefore never leave the solve: returning it from an exported
+// function, or storing it into a *Result / *Stats struct that outlives the
+// call, publishes memory the arena will recycle — the classic "results
+// changed after the next Schedule call" heisenbug.
+//
+// The analysis flags three sinks for arena-backed expressions (a field of
+// reference type read from an arena value, possibly through a slice
+// expression or an append whose destination aliases it):
+//
+//   - a return statement in an exported function or method;
+//   - an assignment into a field of a struct type named ...Result/...Stats;
+//   - a composite literal of such a type.
+//
+// Internal hand-offs between unexported helpers (sched's runPipeline
+// returning a view that emit copies out) stay legal: the copy boundary is
+// where the Result is built, which is exactly what the sinks police.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "arena-backed slices and maps must not escape into results",
+	Run:  runArenaEscape,
+}
+
+const arenaDirective = "//reschedvet:arena"
+
+func runArenaEscape(pass *Pass) {
+	arenas := arenaTypes(pass)
+	if len(arenas) == 0 {
+		return
+	}
+	backed := func(e ast.Expr) bool { return arenaBacked(pass.Info, arenas, e) }
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.IsExported() {
+				InspectNoFuncLit(fd.Body, func(n ast.Node) {
+					ret, ok := n.(*ast.ReturnStmt)
+					if !ok {
+						return
+					}
+					for _, res := range ret.Results {
+						if backed(res) {
+							pass.Reportf(res.Pos(),
+								"returned expression aliases the scratch arena: exported %s publishes storage the next solve overwrites (copy it first)",
+								fd.Name.Name)
+						}
+					}
+				})
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						if resultFieldStore(pass.Info, lhs) && backed(n.Rhs[i]) {
+							pass.Reportf(n.Rhs[i].Pos(),
+								"stored expression aliases the scratch arena: the Result/Stats struct outlives the solve (copy it first)")
+						}
+					}
+				case *ast.CompositeLit:
+					if !resultLikeType(pass.Info.Types[n].Type) {
+						return true
+					}
+					for _, elt := range n.Elts {
+						val := elt
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							val = kv.Value
+						}
+						if backed(val) {
+							pass.Reportf(val.Pos(),
+								"composite literal field aliases the scratch arena: the Result/Stats struct outlives the solve (copy it first)")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// arenaTypes collects the named types of this package whose declarations
+// carry the //reschedvet:arena directive (on the type spec or its GenDecl).
+func arenaTypes(pass *Pass) map[types.Object]bool {
+	arenas := map[types.Object]bool{}
+	hasDirective := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if strings.HasPrefix(c.Text, arenaDirective) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(gd.Doc, ts.Doc, ts.Comment) {
+					if obj := pass.Info.Defs[ts.Name]; obj != nil {
+						arenas[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return arenas
+}
+
+// arenaBacked reports whether e aliases storage owned by an arena-marked
+// type: a reference-typed field selected from an arena value, possibly
+// wrapped in slice expressions or an append over such a field.
+func arenaBacked(info *types.Info, arenas map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return arenaBacked(info, arenas, e.X) // s.buf[:n] still aliases s.buf
+	case *ast.IndexExpr:
+		// s.rows[i] — an element of an arena-backed slice of slices still
+		// aliases the arena when the element itself is a reference type.
+		return refType(info.Types[e].Type) && arenaBacked(info, arenas, e.X)
+	case *ast.CallExpr:
+		// append(s.buf, ...) may return the same backing array when the
+		// capacity suffices; treat it as aliasing its destination.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" &&
+			info.Uses[id] != nil && info.Uses[id].Pkg() == nil && len(e.Args) > 0 {
+			return arenaBacked(info, arenas, e.Args[0])
+		}
+		return false
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal || !refType(sel.Type()) {
+			return false
+		}
+		recv := sel.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		return ok && arenas[named.Obj()]
+	}
+	return false
+}
+
+// refType reports whether t shares backing storage when copied.
+func refType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// resultFieldStore matches an assignment target of the form x.F where x's
+// (possibly pointed-to) named type is Result- or Stats-suffixed.
+func resultFieldStore(info *types.Info, lhs ast.Expr) bool {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return resultLikeType(tv.Type)
+}
+
+// resultLikeType reports whether t names a published result carrier.
+func resultLikeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.HasSuffix(name, "Result") || strings.HasSuffix(name, "Stats")
+}

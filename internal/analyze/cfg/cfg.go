@@ -1,0 +1,541 @@
+// Package cfg constructs per-function control-flow graphs from go/ast for
+// the flow-sensitive analyzers in internal/analyze (standard library only,
+// like the rest of the analysis framework).
+//
+// The graph is statement-granular: every block holds the statements (and
+// the branch conditions) it executes in order, and edges follow the
+// possible transfers of control — if/else joins, loop back edges, switch
+// and select dispatch, break/continue/goto (labeled or not), returns into
+// a synthetic Exit block and panics (plus the well-known terminating calls
+// os.Exit, log.Fatal*, runtime.Goexit) into a synthetic Panic block.
+// Deferred statements appear as ordinary nodes at their registration point:
+// once a path executes `defer f()`, f runs on every exit from the function
+// through that path, which is exactly how the span- and cancel-tracking
+// analyzers interpret them.
+//
+// Function literals are separate functions: building the graph of an
+// enclosing function does not descend into a FuncLit body, and analyzers
+// build a separate graph per literal.
+//
+// The main query is Escapes: "starting after statement S, can control reach
+// the normal function exit (or a forbidden statement) without first passing
+// a sanctioned one?" — the shape of every must-release invariant (spans
+// ended, child budgets cancelled, goroutines joined). Paths that leave
+// through the Panic block are not escapes: the repository's libraries do
+// not panic in shipped code (PR 3), and deferred releases still run during
+// a panic unwind.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one straight-line run of statements.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind labels the block's role ("entry", "if.then", "for.head", ...)
+	// for tests and debug dumps.
+	Kind string
+	// Nodes holds the statements and branch conditions executed in order.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the synthetic normal-exit block: every return statement and
+	// the fall-through past the closing brace lead here.
+	Exit *Block
+	// Panic is the synthetic abnormal-exit block: panic calls and the
+	// recognised terminating calls (os.Exit, log.Fatal*, runtime.Goexit)
+	// lead here.
+	Panic *Block
+	// Blocks lists every block, Entry first.
+	Blocks []*Block
+	// End is the position of the body's closing brace, used as the witness
+	// position for escapes through the implicit return.
+	End token.Pos
+
+	blockOf map[ast.Node]*Block
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{End: body.Rbrace, blockOf: map[ast.Node]*Block{}}
+	b := &builder{g: g}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	g.Panic = b.newBlock("panic")
+	b.cur = g.Entry
+	b.stmts(body.List)
+	// Fall-through past the closing brace is an implicit return.
+	b.jump(g.Exit)
+	b.patchGotos()
+	return g
+}
+
+// BlockOf returns the block holding the statement-level node n, or nil when
+// n is not a node of this graph (for example a node inside a FuncLit).
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.blockOf[n] }
+
+// Escapes reports whether some execution path starting immediately after
+// the statement `from` reaches the normal function exit — or a node
+// matching bad — without first passing a node matching kill. It returns the
+// position witnessing the first such escape (the offending return, the bad
+// node, or the closing brace for the implicit return). Paths that end in
+// the Panic block are ignored. bad may be nil.
+func (g *Graph) Escapes(from ast.Node, kill, bad func(ast.Node) bool) (token.Pos, bool) {
+	start := g.blockOf[from]
+	if start == nil {
+		return token.NoPos, false
+	}
+	// Scan the tail of the starting block, then flood the successors.
+	tail := 0
+	for i, n := range start.Nodes {
+		if n == from {
+			tail = i + 1
+			break
+		}
+	}
+	seen := map[*Block]bool{start: true}
+	if pos, state := g.scan(start, tail, kill, bad); state != scanKilled {
+		if state == scanEscaped {
+			return pos, true
+		}
+		if pos, ok := g.flood(start, seen, kill, bad); ok {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+type scanState int
+
+const (
+	scanFellThrough scanState = iota // reached the end of the block
+	scanKilled                       // hit a kill node: path satisfied
+	scanEscaped                      // hit a bad node: escape witnessed
+)
+
+// scan walks one block's nodes from index i.
+func (g *Graph) scan(b *Block, i int, kill, bad func(ast.Node) bool) (token.Pos, scanState) {
+	for _, n := range b.Nodes[i:] {
+		if kill != nil && kill(n) {
+			return token.NoPos, scanKilled
+		}
+		if bad != nil && bad(n) {
+			return n.Pos(), scanEscaped
+		}
+	}
+	return token.NoPos, scanFellThrough
+}
+
+// flood explores the successors of b, scanning each reached block once.
+func (g *Graph) flood(b *Block, seen map[*Block]bool, kill, bad func(ast.Node) bool) (token.Pos, bool) {
+	for _, s := range b.Succs {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if s == g.Exit {
+			// Escape through a return (the witness is the return statement
+			// ending b, if any) or the implicit fall-through.
+			pos := g.End
+			if len(b.Nodes) > 0 {
+				if r, ok := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt); ok {
+					pos = r.Pos()
+				}
+			}
+			return pos, true
+		}
+		if s == g.Panic {
+			continue
+		}
+		pos, state := g.scan(s, 0, kill, bad)
+		switch state {
+		case scanEscaped:
+			return pos, true
+		case scanKilled:
+			continue
+		}
+		if pos, ok := g.flood(s, seen, kill, bad); ok {
+			return pos, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(c *Block) bool {
+		if c == b {
+			return true
+		}
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+		for _, s := range c.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}
+
+// String renders the graph for debugging and tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d(%s):", b.Index, b.Kind)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " ->%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// builder incrementally assembles a Graph.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breakTo / continueTo are the innermost targets of unlabeled branch
+	// statements; labels maps label names to their targets.
+	breakTo    *Block
+	continueTo *Block
+	labels     map[string]*labelTargets
+	// pendingLabel is the label naming the next loop/switch/select so its
+	// break/continue targets register under it.
+	pendingLabel string
+	gotos        []pendingGoto
+}
+
+type labelTargets struct {
+	breakTo    *Block
+	continueTo *Block
+	start      *Block // goto target
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// add records a node in the current block.
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.g.blockOf[n] = b.cur
+}
+
+// jump links the current block to target.
+func (b *builder) jump(target *Block) {
+	for _, s := range b.cur.Succs {
+		if s == target {
+			return
+		}
+	}
+	b.cur.Succs = append(b.cur.Succs, target)
+}
+
+// startIn makes target the current block.
+func (b *builder) startIn(target *Block) { b.cur = target }
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		thenB := b.newBlock("if.then")
+		after := b.newBlock("if.after")
+		b.jump(thenB)
+		if s.Else != nil {
+			elseB := b.newBlock("if.else")
+			b.jump(elseB)
+			b.startIn(elseB)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			b.jump(after)
+		}
+		b.startIn(thenB)
+		b.stmts(s.Body.List)
+		b.jump(after)
+		b.startIn(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.jump(head)
+		b.startIn(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(after)
+		}
+		b.jump(body)
+		continueTo := head
+		if post != nil {
+			continueTo = post
+		}
+		b.inLoop(after, continueTo, func() {
+			b.startIn(body)
+			b.stmts(s.Body.List)
+			if post != nil {
+				b.jump(post)
+				b.startIn(post)
+				b.add(s.Post)
+			}
+			b.jump(head)
+		})
+		b.startIn(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.jump(head)
+		b.startIn(head)
+		b.add(s.X)
+		b.jump(body)
+		b.jump(after) // the range may be empty
+		b.inLoop(after, head, func() {
+			b.startIn(body)
+			b.stmts(s.Body.List)
+			b.jump(head)
+		})
+		b.startIn(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseDispatch(s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseDispatch(s.Body.List, false)
+
+	case *ast.SelectStmt:
+		b.caseDispatch(s.Body.List, true)
+
+	case *ast.LabeledStmt:
+		start := b.newBlock("label." + s.Label.Name)
+		b.jump(start)
+		b.startIn(start)
+		if b.labels == nil {
+			b.labels = map[string]*labelTargets{}
+		}
+		lt := &labelTargets{start: start}
+		b.labels[s.Label.Name] = lt
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			target := b.breakTo
+			if s.Label != nil && b.labels[s.Label.Name] != nil {
+				target = b.labels[s.Label.Name].breakTo
+			}
+			if target != nil {
+				b.jump(target)
+			}
+			b.startIn(b.newBlock("dead"))
+		case token.CONTINUE:
+			target := b.continueTo
+			if s.Label != nil && b.labels[s.Label.Name] != nil {
+				target = b.labels[s.Label.Name].continueTo
+			}
+			if target != nil {
+				b.jump(target)
+			}
+			b.startIn(b.newBlock("dead"))
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.startIn(b.newBlock("dead"))
+		case token.FALLTHROUGH:
+			// Handled by caseDispatch, which links the clause to its
+			// successor; nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.startIn(b.newBlock("dead"))
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.DeclStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.jump(b.g.Panic)
+			b.startIn(b.newBlock("dead"))
+		}
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// inLoop runs body with the unlabeled (and pending labeled) break/continue
+// targets bound to the enclosing loop.
+func (b *builder) inLoop(breakTo, continueTo *Block, body func()) {
+	prevB, prevC := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = breakTo, continueTo
+	if b.pendingLabel != "" {
+		lt := b.labels[b.pendingLabel]
+		lt.breakTo, lt.continueTo = breakTo, continueTo
+		b.pendingLabel = ""
+	}
+	body()
+	b.breakTo, b.continueTo = prevB, prevC
+}
+
+// caseDispatch wires a switch / type switch / select body: each clause gets
+// its own block branching from the current one, falls through to the next
+// clause when its last statement is a fallthrough, and otherwise joins
+// after. A switch without a default also branches directly to the join; a
+// select without a default has no such edge (it blocks until a case fires —
+// `select {}` with no clauses never proceeds at all).
+func (b *builder) caseDispatch(clauses []ast.Stmt, isSelect bool) {
+	after := b.newBlock("case.after")
+	prevBreak := b.breakTo
+	b.breakTo = after
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel].breakTo = after
+		b.pendingLabel = ""
+	}
+	dispatch := b.cur
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock("case.body")
+		dispatch.Succs = append(dispatch.Succs, blocks[i])
+	}
+	for i, cl := range clauses {
+		b.startIn(blocks[i])
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.add(e)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cl.Comm)
+			}
+			body = cl.Body
+		}
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmts(body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault && !isSelect {
+		dispatch.Succs = append(dispatch.Succs, after)
+	}
+	b.breakTo = prevBreak
+	b.startIn(after)
+}
+
+// patchGotos resolves forward gotos once every label block exists.
+func (b *builder) patchGotos() {
+	for _, g := range b.gotos {
+		if lt := b.labels[g.label]; lt != nil {
+			g.from.Succs = append(g.from.Succs, lt.start)
+		}
+	}
+}
+
+// isTerminalCall recognises calls that never return: panic and the
+// conventional process/goroutine terminators. The check is syntactic (the
+// cfg package has no type information); a local function named os.Exit
+// would be misclassified, which the repository does not contain.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fn.Sel.Name == "Exit"
+		case "log":
+			return strings.HasPrefix(fn.Sel.Name, "Fatal")
+		case "runtime":
+			return fn.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its graph plus the
+// fileset for position reporting.
+func build(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fix.go", "package p\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body), fset
+}
+
+// nodeMatching finds the first statement-level graph node whose source text
+// contains substr.
+func nodeMatching(t *testing.T, g *Graph, fset *token.FileSet, src, substr string) ast.Node {
+	t.Helper()
+	lines := strings.Split("package p\nfunc f() {\n"+src+"\n}", "\n")
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			line := lines[fset.Position(n.Pos()).Line-1]
+			if strings.Contains(line, substr) && n.Pos() != token.NoPos {
+				if strings.Contains(line, substr) {
+					return n
+				}
+			}
+		}
+	}
+	t.Fatalf("no graph node on a line containing %q", substr)
+	return nil
+}
+
+// matcher returns a predicate matching nodes whose source line contains
+// substr.
+func matcher(fset *token.FileSet, src, substr string) func(ast.Node) bool {
+	lines := strings.Split("package p\nfunc f() {\n"+src+"\n}", "\n")
+	return func(n ast.Node) bool {
+		p := fset.Position(n.Pos())
+		if !p.IsValid() || p.Line-1 >= len(lines) {
+			return false
+		}
+		return strings.Contains(lines[p.Line-1], substr)
+	}
+}
+
+// escapes is the test harness around Graph.Escapes keyed by line substrings.
+func escapes(t *testing.T, src, from, kill string) bool {
+	t.Helper()
+	g, fset := build(t, src)
+	start := nodeMatching(t, g, fset, src, from)
+	_, esc := g.Escapes(start, matcher(fset, src, kill), nil)
+	return esc
+}
+
+func TestStraightLine(t *testing.T) {
+	src := "x := open()\nx.close()"
+	if escapes(t, src, "open", "close") {
+		t.Error("straight-line close reported as escaping")
+	}
+	src = "x := open()\nuse(x)"
+	if !escapes(t, src, "open", "close") {
+		t.Error("missing close not reported")
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	// Close on only one branch escapes via the other.
+	src := "x := open()\nif c {\n\tx.close()\n}"
+	if !escapes(t, src, "open", "close") {
+		t.Error("if-only close: escape through the else path not found")
+	}
+	// Close on both branches covers every path.
+	src = "x := open()\nif c {\n\tx.close()\n} else {\n\tx.close()\n}"
+	if escapes(t, src, "open", "close") {
+		t.Error("close on both branches still reported as escaping")
+	}
+	// Close after the join covers every path.
+	src = "x := open()\nif c {\n\ty()\n}\nx.close()"
+	if escapes(t, src, "open", "close") {
+		t.Error("close after join reported as escaping")
+	}
+	// An early return inside the branch dodges the close after the join.
+	src = "x := open()\nif c {\n\treturn\n}\nx.close()"
+	if !escapes(t, src, "open", "close") {
+		t.Error("early return before close not reported")
+	}
+}
+
+func TestDefer(t *testing.T) {
+	// A deferred close guards every later exit, including early returns.
+	src := "x := open()\ndefer x.close()\nif c {\n\treturn\n}\ny()"
+	if escapes(t, src, "open", "close") {
+		t.Error("deferred close reported as escaping")
+	}
+	// A defer registered only on one branch leaves the other exposed.
+	src = "x := open()\nif c {\n\tdefer x.close()\n\treturn\n}\ny()"
+	if !escapes(t, src, "open", "close") {
+		t.Error("branch-local defer: unguarded fall-through not reported")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	// Close inside the loop body covers the loop's only way forward when
+	// the loop is infinite except for a break after the close.
+	src := "x := open()\nfor {\n\tif c {\n\t\tx.close()\n\t\tbreak\n\t}\n}\nreturn"
+	if escapes(t, src, "open", "close") {
+		t.Error("close-then-break in infinite loop reported as escaping")
+	}
+	// A conditional loop may run zero times: close only in the body leaks.
+	src = "x := open()\nfor c {\n\tx.close()\n}\nreturn"
+	if !escapes(t, src, "open", "close") {
+		t.Error("zero-iteration conditional loop not reported")
+	}
+	// continue must pass through the post statement.
+	src = "for i := 0; c; i = step() {\n\tif d {\n\t\tcontinue\n\t}\n}"
+	g, fset := build(t, src)
+	start := nodeMatching(t, g, fset, src, "continue")
+	if _, esc := g.Escapes(start, matcher(fset, src, "step"), nil); esc {
+		t.Error("continue skipped the loop post statement")
+	}
+	// Range loops may be empty.
+	src = "x := open()\nfor range xs {\n\tx.close()\n}\nreturn"
+	if !escapes(t, src, "open", "close") {
+		t.Error("zero-iteration range loop not reported")
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	// Close in every case incl. default covers all paths.
+	src := "x := open()\nswitch v {\ncase 1:\n\tx.close()\ndefault:\n\tx.close()\n}"
+	if escapes(t, src, "open", "close") {
+		t.Error("exhaustive switch close reported as escaping")
+	}
+	// Without a default the dispatch can skip every case.
+	src = "x := open()\nswitch v {\ncase 1:\n\tx.close()\n}"
+	if !escapes(t, src, "open", "close") {
+		t.Error("defaultless switch skip-path not reported")
+	}
+	// fallthrough runs the next clause.
+	src = "x := open()\nswitch v {\ncase 1:\n\ty()\n\tfallthrough\ndefault:\n\tx.close()\n}"
+	if escapes(t, src, "open", "close") {
+		t.Error("fallthrough into closing clause reported as escaping")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	// A select without default blocks until one case fires; close in every
+	// case covers all paths.
+	src := "x := open()\nselect {\ncase <-a:\n\tx.close()\ncase <-b:\n\tx.close()\n}"
+	if escapes(t, src, "open", "close") {
+		t.Error("exhaustive select close reported as escaping")
+	}
+	// A default clause without close escapes.
+	src = "x := open()\nselect {\ncase <-a:\n\tx.close()\ndefault:\n}"
+	if !escapes(t, src, "open", "close") {
+		t.Error("select default path not reported")
+	}
+}
+
+func TestPanicPaths(t *testing.T) {
+	// Paths ending in panic are not escapes: deferred releases still run
+	// during unwind and shipped code does not panic (PR 3).
+	src := "x := open()\nif c {\n\tpanic(\"boom\")\n}\nx.close()"
+	if escapes(t, src, "open", "close") {
+		t.Error("panic path counted as an escape")
+	}
+	// The same goes for the conventional terminators.
+	src = "x := open()\nif c {\n\tos.Exit(1)\n}\nx.close()"
+	if escapes(t, src, "open", "close") {
+		t.Error("os.Exit path counted as an escape")
+	}
+	// But a recover-style cleanup does not excuse a missing close on the
+	// normal path.
+	src = "x := open()\ndefer rec()\ny()"
+	if !escapes(t, src, "open", "close") {
+		t.Error("normal path without close not reported despite deferred recover")
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	// goto jumps over the close.
+	src := "x := open()\nif c {\n\tgoto out\n}\nx.close()\nout:\nreturn"
+	if !escapes(t, src, "open", "close") {
+		t.Error("goto skipping the close not reported")
+	}
+	// Labeled break exits both loops, skipping the inner close.
+	src = "x := open()\nouter:\nfor {\n\tfor {\n\t\tif c {\n\t\t\tbreak outer\n\t\t}\n\t\tx.close()\n\t\treturn\n\t}\n}\nreturn"
+	if !escapes(t, src, "open", "close") {
+		t.Error("labeled break bypassing the close not reported")
+	}
+}
+
+func TestBadNodes(t *testing.T) {
+	// Escapes also witnesses "bad" nodes reached before a kill: here the
+	// variable is reassigned before the close.
+	src := "x := open()\nif c {\n\tx = open2()\n}\nx.close()"
+	g, fset := build(t, src)
+	start := nodeMatching(t, g, fset, src, "open()")
+	pos, esc := g.Escapes(start, matcher(fset, src, "close"), matcher(fset, src, "open2"))
+	if !esc {
+		t.Fatal("reassignment before close not witnessed")
+	}
+	if got := fset.Position(pos).Line; got != 5 {
+		t.Errorf("witness line = %d, want 5 (the reassignment)", got)
+	}
+}
+
+func TestImplicitReturnWitness(t *testing.T) {
+	src := "x := open()\ny()"
+	g, fset := build(t, src)
+	start := nodeMatching(t, g, fset, src, "open")
+	pos, esc := g.Escapes(start, matcher(fset, src, "close"), nil)
+	if !esc {
+		t.Fatal("implicit-return escape not found")
+	}
+	if pos != g.End {
+		t.Errorf("witness = %v, want the closing brace %v", fset.Position(pos), fset.Position(g.End))
+	}
+}
+
+func TestReachable(t *testing.T) {
+	src := "if c {\n\treturn\n}\ny()"
+	g, _ := build(t, src)
+	for _, b := range g.Blocks {
+		if b.Kind == "dead" && g.Reachable(b) {
+			t.Errorf("dead block %d reported reachable", b.Index)
+		}
+	}
+	if !g.Reachable(g.Exit) {
+		t.Error("exit not reachable")
+	}
+}
+
+func TestFuncLitOpaque(t *testing.T) {
+	// Nodes inside a function literal belong to the literal's own graph,
+	// not the enclosing function's.
+	src := "f := func() {\n\tinner()\n}\nf()"
+	g, fset := build(t, src)
+	lines := strings.Split("package p\nfunc f() {\n"+src+"\n}", "\n")
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			p := fset.Position(n.Pos())
+			if p.IsValid() && strings.Contains(lines[p.Line-1], "inner") && !strings.Contains(lines[p.Line-1], "func") {
+				t.Error("FuncLit body statement leaked into the enclosing graph")
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resched/internal/analyze/cfg"
+)
+
+// GoLeak requires every goroutine started in a library package to have a
+// reachable join — a WaitGroup.Wait, a channel receive, or a range over a
+// channel — on every path from the go statement to the function's normal
+// exit. The PA-R portfolio and the experiment harness both follow the
+// spawn/Wait idiom; a goroutine that can outlive the function that started
+// it breaks the determinism story (it may still be appending to shared
+// state while the caller reads the result) and leaks under repeated solves.
+//
+// main packages (cmd/...) own the process lifetime and examples are
+// illustrative, so both are exempt. The join is matched structurally: any
+// Wait method on a type named WaitGroup, any receive expression, any range
+// over a value of channel type.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in library packages must be joined on every path",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, elem := range strings.Split(pass.Pkg.Path(), "/") {
+		if elem == "cmd" || elem == "examples" {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		for _, scope := range FuncScopesOf(file) {
+			checkGoroutines(pass, scope)
+		}
+	}
+}
+
+func checkGoroutines(pass *Pass, scope FuncScope) {
+	var spawns []*ast.GoStmt
+	var deferredJoins []*ast.DeferStmt
+	rangeHeads := map[ast.Node]bool{} // range-over-channel head expressions
+	InspectNoFuncLit(scope.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = append(spawns, n)
+		case *ast.DeferStmt:
+			deferredJoins = append(deferredJoins, n)
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, ok := tv.Type.Underlying().(*types.Chan); ok {
+					rangeHeads[n.X] = true
+				}
+			}
+		}
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	graph := cfg.New(scope.Body)
+	join := func(n ast.Node) bool { return isJoin(pass.Info, n, rangeHeads) }
+	for _, g := range spawns {
+		if graph.BlockOf(g) == nil {
+			continue
+		}
+		// A deferred join registered before the spawn (the `defer wg.Wait()`
+		// prologue idiom) runs on every exit the spawn can reach; Escapes
+		// only scans forward from the go statement, so cover it here. The
+		// source-order check over-approximates a defer inside an earlier
+		// branch, which the spawn/Wait idiom does not produce.
+		covered := false
+		for _, d := range deferredJoins {
+			if d.Pos() < g.Pos() && join(d) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		if pos, escaped := graph.Escapes(g, join, nil); escaped {
+			where := pass.Fset.Position(pos)
+			pass.Reportf(g.Pos(),
+				"goroutine is not joined on every path: control reaches line %d without a WaitGroup.Wait, channel receive or channel range",
+				where.Line)
+		}
+	}
+}
+
+// isJoin reports whether the CFG node n synchronises with spawned
+// goroutines: a WaitGroup.Wait call (including deferred), a channel receive,
+// or the head of a range over a channel.
+func isJoin(info *types.Info, n ast.Node, rangeHeads map[ast.Node]bool) bool {
+	if rangeHeads[n] {
+		return true
+	}
+	found := false
+	InspectNoFuncLit(n, func(c ast.Node) {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			if fn, ok := CalleeOf(info, c); ok && fn != nil &&
+				fn.Name() == "Wait" && ReceiverTypeName(fn) == "WaitGroup" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				found = true
+			}
+		}
+	})
+	return found
+}

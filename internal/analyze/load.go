@@ -31,6 +31,14 @@ type Package struct {
 // vendor directories are skipped, as are test files: the invariants guard
 // shipped scheduler code, and tests legitimately use patterns (exact float
 // expectations, ad-hoc maps) the analyzers would flag.
+//
+// Module-local packages are type-checked exactly once, with full expression
+// and object resolution, whether they are reached as an import of another
+// package or as a top-level directory of the walk: the loader keeps one
+// shared cache of finished packages, so the old double work (an Info-less
+// check for import resolution followed by a full check for analysis) is
+// gone and import-heavy drivers like cmd/pasched reuse the same checked
+// internal packages.
 func LoadModule(root string) ([]*Package, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -62,16 +70,10 @@ func LoadModule(root string) ([]*Package, error) {
 	sort.Strings(dirs)
 
 	fset := token.NewFileSet()
-	ld := &loader{fset: fset, root: root, modPath: modPath, cache: map[string]*types.Package{}}
+	ld := &loader{fset: fset, root: root, modPath: modPath,
+		pkgs: map[string]*Package{}, std: map[string]*types.Package{}}
 	var pkgs []*Package
 	for _, dir := range dirs {
-		files, err := parseDir(fset, dir)
-		if err != nil {
-			return nil, err
-		}
-		if len(files) == 0 {
-			continue
-		}
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return nil, err
@@ -80,11 +82,13 @@ func LoadModule(root string) ([]*Package, error) {
 		if rel != "." {
 			path = modPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := check(fset, path, files, ld)
+		pkg, err := ld.load(path, dir)
 		if err != nil {
 			return nil, err
 		}
-		pkg.Dir = dir
+		if pkg == nil { // no Go files in dir
+			continue
+		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -95,19 +99,14 @@ func LoadModule(root string) ([]*Package, error) {
 // module walk deliberately skips.
 func LoadDir(dir, path string) (*Package, error) {
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	ld := &loader{fset: fset, pkgs: map[string]*Package{}, std: map[string]*types.Package{}}
+	pkg, err := ld.load(path, dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(files) == 0 {
+	if pkg == nil {
 		return nil, fmt.Errorf("analyze: no Go files in %s", dir)
 	}
-	ld := &loader{fset: fset, cache: map[string]*types.Package{}}
-	pkg, err := check(fset, path, files, ld)
-	if err != nil {
-		return nil, err
-	}
-	pkg.Dir = dir
 	return pkg, nil
 }
 
@@ -138,22 +137,6 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// check type-checks one package with full expression and object resolution.
-func check(fset *token.FileSet, path string, files []*ast.File, ld *loader) (*Package, error) {
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-	}
-	conf := types.Config{Importer: ld}
-	tpkg, err := conf.Check(path, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("analyze: type-checking %s: %w", path, err)
-	}
-	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
-}
-
 // modulePath reads the module path from root/go.mod.
 func modulePath(root string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
@@ -169,43 +152,71 @@ func modulePath(root string) (string, error) {
 	return "", fmt.Errorf("analyze: no module line in %s/go.mod", root)
 }
 
-// loader resolves imports: module-local packages are type-checked from
-// source on first use, everything else (the standard library — go.mod has
-// no external dependencies) is delegated to the stdlib source importer so
-// the analysis needs no pre-compiled export data.
+// loader resolves and type-checks packages. Module-local packages are fully
+// checked (with types.Info) exactly once and cached as *Package; standard
+// library imports (go.mod has no external dependencies) are delegated to
+// the stdlib source importer.
 type loader struct {
 	fset    *token.FileSet
 	root    string
 	modPath string
-	cache   map[string]*types.Package
-	std     types.Importer
+	pkgs    map[string]*Package       // finished module-local packages
+	std     map[string]*types.Package // imported stdlib packages
+	stdImp  types.Importer
 }
 
-func (l *loader) Import(path string) (*types.Package, error) {
-	if pkg, ok := l.cache[path]; ok {
+// load returns the fully-checked package at path/dir, reusing the cache.
+// It returns (nil, nil) when the directory holds no Go files.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
 	}
-	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
-		dir := filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/"))
-		files, err := parseDir(l.fset, dir)
-		if err != nil {
-			return nil, fmt.Errorf("analyze: importing %s: %w", path, err)
-		}
-		conf := types.Config{Importer: l}
-		pkg, err := conf.Check(path, l.fset, files, nil)
-		if err != nil {
-			return nil, fmt.Errorf("analyze: importing %s: %w", path, err)
-		}
-		l.cache[path] = pkg
-		return pkg, nil
-	}
-	if l.std == nil {
-		l.std = importer.ForCompiler(l.fset, "source", nil)
-	}
-	pkg, err := l.std.Import(path)
+	files, err := parseDir(l.fset, dir)
 	if err != nil {
 		return nil, err
 	}
-	l.cache[path] = pkg
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for the checker's dependency resolution.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/"))
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: importing %s: %w", path, err)
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analyze: importing %s: no Go files in %s", path, dir)
+		}
+		return pkg.Types, nil
+	}
+	if pkg, ok := l.std[path]; ok {
+		return pkg, nil
+	}
+	if l.stdImp == nil {
+		l.stdImp = importer.ForCompiler(l.fset, "source", nil)
+	}
+	pkg, err := l.stdImp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.std[path] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,34 @@
+package analyze
+
+import "go/ast"
+
+// LostCancel tracks child budgets the way the standard vet tracks contexts:
+// a *Budget returned by WithTimeout must have Cancel called on every path to
+// the normal function exit, or the child's deadline keeps ticking after the
+// phase it bounded has finished. With the per-child cancel chain in
+// internal/budget, Cancel detaches exactly the subtree the child governs, so
+// the fix is always safe: `defer bud.Cancel()` right after the WithTimeout.
+//
+// Unlike spanleak, handing the child to a callee or storing it in an Options
+// struct does not transfer the release duty — the creator still owns Cancel
+// (callees merely poll). Only returning the child moves ownership to the
+// caller, so only that use skips the definition.
+var LostCancel = &Analyzer{
+	Name: "lostcancel",
+	Doc:  "WithTimeout child budgets must be cancelled on every path",
+	Run:  runLostCancel,
+}
+
+func runLostCancel(pass *Pass) {
+	runReleaseRule(pass, releaseRule{
+		ctors:         map[string]bool{"WithTimeout": true},
+		resultType:    "Budget",
+		release:       "Cancel",
+		what:          "child budget",
+		reportDiscard: true,
+		escapeIsTransfer: func(parent ast.Node, id *ast.Ident) bool {
+			_, isReturn := parent.(*ast.ReturnStmt)
+			return isReturn
+		},
+	})
+}

@@ -1,0 +1,244 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// Module indexes every package of one Run so the flow-sensitive analyzers
+// can resolve callees across package boundaries: budgetloop, for example,
+// must see that a loop body calling sched.runPipeline transitively polls
+// the budget even though the poll lives in another package. The index is
+// built once per Run and is safe for concurrent passes.
+type Module struct {
+	// Pkgs lists the packages of this Run.
+	Pkgs []*Package
+
+	bodies map[*types.Func]*FuncBody
+
+	pollOnce sync.Once
+	polls    map[*types.Func]bool
+}
+
+// FuncBody pairs a function's declaration with the package that owns it
+// (whose Info resolves the identifiers inside the body).
+type FuncBody struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// NewModule builds the index over pkgs.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs, bodies: map[*types.Func]*FuncBody{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					m.bodies[fn] = &FuncBody{Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Body returns the declaration of fn when it belongs to a package of this
+// Run, or nil for external (standard library) and interface functions.
+func (m *Module) Body(fn *types.Func) *FuncBody { return m.bodies[fn] }
+
+// CalleeOf resolves a call expression to the *types.Func it invokes, using
+// the owning package's type information: direct calls (pkg.Fn, Fn), method
+// calls (x.M) and method expressions resolve; calls through function values
+// and interface methods do not (nil, false).
+func CalleeOf(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Interface method calls have no body anywhere; the caller
+				// distinguishes via Body() == nil.
+				return fn, true
+			}
+			return nil, false
+		}
+		// Qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// PollsBudget reports whether fn — directly, or transitively through
+// callees declared in this module — calls one of the budget polling points
+// Check, Charge or Cancelled on a Budget value. Interface calls and
+// function values are treated as not polling (the analysis is
+// under-approximate in the caller's favour only when a poll hides behind an
+// indirect call, which the solver packages avoid).
+func (m *Module) PollsBudget(fn *types.Func) bool {
+	m.pollOnce.Do(m.buildPolls)
+	return m.polls[fn]
+}
+
+// buildPolls computes the transitive budget-polling set by fixpoint over
+// the module's call edges.
+func (m *Module) buildPolls() {
+	m.polls = map[*types.Func]bool{}
+	// Direct polls. Function literals declared in the body are credited to
+	// the enclosing function: they run, at the latest, when the function
+	// invokes (or spawns) them, and the solver packages only build literals
+	// they immediately use.
+	for fn, fb := range m.bodies {
+		direct := false
+		ast.Inspect(fb.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && IsBudgetPoll(fb.Pkg.Info, call) {
+				direct = true
+				return false
+			}
+			return true
+		})
+		// Budget's own methods are the polls themselves.
+		if IsBudgetMethod(fn) {
+			direct = true
+		}
+		if direct {
+			m.polls[fn] = true
+		}
+	}
+	// Propagate through call edges until stable. The module call graph is
+	// small (a few hundred functions), so the quadratic fixpoint is cheap.
+	for changed := true; changed; {
+		changed = false
+		for fn, fb := range m.bodies {
+			if m.polls[fn] {
+				continue
+			}
+			found := false
+			// Function literals inside fn run (at the latest) when fn calls
+			// them; polls inside them are conservatively credited to fn
+			// only when the literal is invoked or started directly, which
+			// ast.Inspect below approximates by descending into literals.
+			ast.Inspect(fb.Decl.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee, ok := CalleeOf(fb.Pkg.Info, call); ok && m.polls[callee] {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				m.polls[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// IsBudgetPoll reports whether the call is Budget.Check, Budget.Charge or
+// Budget.Cancelled. The receiver is matched by type name ("Budget", or a
+// pointer to it) rather than import path so analyzer fixtures can declare a
+// structural stand-in; the module contains exactly one such type.
+func IsBudgetPoll(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := CalleeOf(info, call)
+	return ok && fn != nil && IsBudgetMethod(fn)
+}
+
+// IsBudgetMethod reports whether fn is a polling method of a Budget type.
+func IsBudgetMethod(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Check", "Charge", "Cancelled":
+	default:
+		return false
+	}
+	return ReceiverTypeName(fn) == "Budget"
+}
+
+// ReceiverTypeName returns the name of fn's receiver type (through one
+// pointer), or "" for plain functions.
+func ReceiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// InspectNoFuncLit walks the AST below n without descending into function
+// literals: a flow-sensitive analyzer examining one function's paths must
+// not credit it with statements that execute in a different function.
+func InspectNoFuncLit(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		if c != nil {
+			visit(c)
+		}
+		return true
+	})
+}
+
+// FuncScopes yields every function body in the file along with the
+// enclosing declaration's name: top-level functions and methods first, then
+// each function literal as its own scope (flow analyses treat a literal as
+// a separate function).
+type FuncScope struct {
+	// Name labels the scope in diagnostics ("RSchedule", "RSchedule.func").
+	Name string
+	// Body is the function body analyzed as one CFG.
+	Body *ast.BlockStmt
+	// Decl is the enclosing FuncDecl (also set for literals, for context).
+	Decl *ast.FuncDecl
+}
+
+// FuncScopesOf collects the scopes of one file in source order.
+func FuncScopesOf(file *ast.File) []FuncScope {
+	var scopes []FuncScope
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		scopes = append(scopes, FuncScope{Name: fd.Name.Name, Body: fd.Body, Decl: fd})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				scopes = append(scopes, FuncScope{
+					Name: fd.Name.Name + ".func", Body: lit.Body, Decl: fd,
+				})
+			}
+			return true
+		})
+	}
+	return scopes
+}
+
+// LastPathElem returns the final element of an import path.
+func LastPathElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

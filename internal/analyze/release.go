@@ -1,0 +1,258 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+
+	"resched/internal/analyze/cfg"
+)
+
+// releaseRule is one must-release invariant: a constructor method whose
+// result must have its release method called on every path to the normal
+// function exit. spanleak (Trace.Start/StartRoot → Span.End) and lostcancel
+// (Budget.WithTimeout → Budget.Cancel) instantiate it.
+type releaseRule struct {
+	// ctors are the method names constructing the tracked value.
+	ctors map[string]bool
+	// resultType is the name of the pointed-to named result type ("Span").
+	// Matching is structural — by type name, not import path — so analyzer
+	// fixtures can declare stand-ins; the module has exactly one such type.
+	resultType string
+	// release is the method that must run on every path ("End").
+	release string
+	// transferParents lists the AST parent kinds through which a use of the
+	// tracked variable transfers release responsibility elsewhere: when one
+	// occurs the definition is skipped (conservative no-report). Uses whose
+	// parent kind is not listed and not intrinsically sanctioned (method
+	// receiver, assignment target, comparison) behave per escapeIsTransfer.
+	escapeIsTransfer func(parent ast.Node, id *ast.Ident) bool
+	// reportDiscard, when set, flags a constructor call whose result is not
+	// bound to a variable at all.
+	reportDiscard bool
+	// what names the tracked value in messages ("span", "child budget").
+	what string
+}
+
+// runReleaseRule checks every function scope of the package against the rule.
+func runReleaseRule(pass *Pass, rule releaseRule) {
+	for _, file := range pass.Files {
+		for _, scope := range FuncScopesOf(file) {
+			checkScope(pass, rule, scope)
+		}
+	}
+}
+
+func checkScope(pass *Pass, rule releaseRule, scope FuncScope) {
+	var graph *cfg.Graph // built lazily: most scopes have no constructor call
+	ensureGraph := func() *cfg.Graph {
+		if graph == nil {
+			graph = cfg.New(scope.Body)
+		}
+		return graph
+	}
+
+	InspectNoFuncLit(scope.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if rule.reportDiscard && rule.isCtor(pass.Info, n.X) {
+				pass.Reportf(n.Pos(), "%s returned by %s is discarded and can never be %s-ed",
+					rule.what, ctorName(n.X), rule.release)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 || !rule.isCtor(pass.Info, n.Rhs[0]) {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				if ok && rule.reportDiscard {
+					pass.Reportf(n.Pos(), "%s returned by %s is discarded and can never be %s-ed",
+						rule.what, ctorName(n.Rhs[0]), rule.release)
+				}
+				return
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			checkDef(pass, rule, scope, ensureGraph(), n, id, obj)
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 || !rule.isCtor(pass.Info, vs.Values[0]) {
+					continue
+				}
+				obj := pass.Info.Defs[vs.Names[0]]
+				if obj == nil {
+					continue
+				}
+				checkDef(pass, rule, scope, ensureGraph(), n, vs.Names[0], obj)
+			}
+		}
+	})
+}
+
+// checkDef verifies one tracked definition: every path from def to the
+// normal exit must pass a release (or register one with defer) before
+// reaching the exit or a reassignment of the variable.
+func checkDef(pass *Pass, rule releaseRule, scope FuncScope, graph *cfg.Graph, def ast.Node, id *ast.Ident, obj types.Object) {
+	if graph.BlockOf(def) == nil {
+		// The definition sits in a statement position the CFG does not
+		// model (it should not happen); stay silent rather than guess.
+		return
+	}
+	if transfersOwnership(pass.Info, rule, scope.Body, obj, def) {
+		return
+	}
+	kill := func(n ast.Node) bool { return releases(pass.Info, rule, n, obj) }
+	bad := func(n ast.Node) bool { return reassigns(pass.Info, n, obj, def) }
+	if pos, escaped := graph.Escapes(def, kill, bad); escaped {
+		where := pass.Fset.Position(pos)
+		pass.Reportf(def.Pos(),
+			"%s %q is not %s-ed on every path: control reaches line %d without %s.%s (call it on that path or defer it)",
+			rule.what, id.Name, rule.release, where.Line, rule.resultType, rule.release)
+	}
+}
+
+// isCtor matches a call to one of the rule's constructor methods returning
+// a pointer to the rule's result type.
+func (r releaseRule) isCtor(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !r.ctors[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == r.resultType
+}
+
+// ctorName renders the constructor selector for messages.
+func ctorName(e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+	}
+	return "constructor"
+}
+
+// releases reports whether CFG node n calls obj's release method, either
+// directly, or inside a deferred function literal (defer func() { sp.End() }()).
+func releases(info *types.Info, rule releaseRule, n ast.Node, obj types.Object) bool {
+	found := false
+	check := func(c ast.Node) {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != rule.release {
+			return
+		}
+		if base, ok := sel.X.(*ast.Ident); ok && info.Uses[base] == obj {
+			found = true
+		}
+	}
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// A deferred literal runs on every exit once registered: anything
+		// inside it counts.
+		ast.Inspect(d, func(c ast.Node) bool { check(c); return !found })
+		return found
+	}
+	InspectNoFuncLit(n, check)
+	return found
+}
+
+// reassigns reports whether CFG node n overwrites obj with a new value
+// (other than the definition under scrutiny itself).
+func reassigns(info *types.Info, n ast.Node, obj types.Object, def ast.Node) bool {
+	if n == def {
+		return false
+	}
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// transfersOwnership scans the whole scope for uses of obj that move the
+// release responsibility out of this function (per the rule), in which case
+// the definition is skipped rather than reported: the analysis stays
+// conservative instead of second-guessing explicit hand-offs.
+func transfersOwnership(info *types.Info, rule releaseRule, body *ast.BlockStmt, obj types.Object, def ast.Node) bool {
+	transfer := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if transfer {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj && len(stack) > 0 {
+			parent := stack[len(stack)-1]
+			if !sanctionedUse(stack, id) && rule.escapeIsTransfer(parent, id) {
+				transfer = true
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return transfer
+}
+
+// sanctionedUse recognises the contexts that never move release
+// responsibility: calling a method on the variable, assigning to it,
+// declaring it, or comparing it.
+func sanctionedUse(stack []ast.Node, id *ast.Ident) bool {
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// Method call receiver: id.Method(...). Reading a field through the
+		// variable is equally harmless.
+		return p.X == id
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return true
+			}
+		}
+		return false
+	case *ast.ValueSpec:
+		for _, name := range p.Names {
+			if name == id {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return true // comparisons (sp != nil) and the like
+	}
+	return false
+}

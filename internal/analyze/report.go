@@ -1,0 +1,73 @@
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Report is the machine-readable form of one reschedvet run, consumed by CI
+// and editor integrations. Field order and the root-relative, slash-
+// separated file paths make the encoding byte-identical across machines and
+// worker counts (the findings are already totally ordered by Run).
+type Report struct {
+	// Analyzers lists the analyzers that ran, in suite order.
+	Analyzers []string `json:"analyzers"`
+	// Errors and Warnings count findings by severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	// Findings holds every finding in position order.
+	Findings []ReportFinding `json:"findings"`
+}
+
+// ReportFinding is one finding with a portable file path.
+type ReportFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// BuildReport assembles the report, rewriting file names relative to root
+// (absolute paths outside root are kept as-is).
+func BuildReport(root string, analyzers []*Analyzer, findings []Finding) Report {
+	rep := Report{Analyzers: make([]string, 0, len(analyzers)),
+		Findings: make([]ReportFinding, 0, len(findings))}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		switch f.Severity {
+		case SevWarning:
+			rep.Warnings++
+		default:
+			rep.Errors++
+		}
+		rep.Findings = append(rep.Findings, ReportFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Severity: string(f.Severity),
+			Message:  f.Message,
+		})
+	}
+	return rep
+}
+
+// WriteJSON encodes the report with stable indentation and a trailing
+// newline.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

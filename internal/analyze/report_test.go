@@ -1,0 +1,124 @@
+package analyze_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"resched/internal/analyze"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportJSONGolden pins the machine-readable report format: the JSON
+// emitted for the spanleak fixture package must match the golden file
+// byte-for-byte (root-relative slash paths, stable field order, severity
+// counts). Regenerate with `go test ./internal/analyze -run ReportJSON
+// -update` after an intentional format or fixture change.
+func TestReportJSONGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "spanleak")
+	pkg, err := analyze.LoadDir(dir, "fixture/spanleak")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	analyzers := []*analyze.Analyzer{analyze.SpanLeak}
+	findings := analyze.Run([]*analyze.Package{pkg}, analyzers)
+	if len(findings) == 0 {
+		t.Fatal("spanleak fixture produced no findings; the golden proves nothing")
+	}
+
+	rep := analyze.BuildReport("testdata", analyzers, findings)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("encoding report: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON report drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRunParallelDeterministic proves the parallel driver's total order: the
+// findings of the full suite over every fixture package must be identical —
+// same order, same content — for any worker count and any interleaving.
+func TestRunParallelDeterministic(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*analyze.Package
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg, err := analyze.LoadDir(filepath.Join("testdata", e.Name()), "fixture/"+e.Name())
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", e.Name(), err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) < 2 {
+		t.Fatal("need several fixture packages to exercise the merge")
+	}
+
+	baseline := analyze.RunParallel(pkgs, analyze.All(), 1)
+	if len(baseline) == 0 {
+		t.Fatal("fixtures produced no findings; determinism check proves nothing")
+	}
+	for _, workers := range []int{2, 3, 4, 8, 0} {
+		for rep := 0; rep < 3; rep++ {
+			got := analyze.RunParallel(pkgs, analyze.All(), workers)
+			if !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("workers=%d repetition %d: findings diverge from the single-worker order", workers, rep)
+			}
+		}
+	}
+}
+
+// BenchmarkLoadModule measures whole-module parse + type-check with the
+// shared cache (each internal package checked exactly once); this is the
+// fixed cost of every reschedvet run.
+func BenchmarkLoadModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := analyze.LoadModule("../..")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("no packages loaded")
+		}
+	}
+}
+
+// BenchmarkRunParallel measures the analysis proper (the module is loaded
+// once outside the timer), comparing the serial and parallel drivers.
+func BenchmarkRunParallel(b *testing.B) {
+	pkgs, err := analyze.LoadModule("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analyze.RunParallel(pkgs, analyze.All(), workers)
+			}
+		})
+	}
+}

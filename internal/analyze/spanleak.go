@@ -1,0 +1,36 @@
+package analyze
+
+import "go/ast"
+
+// SpanLeak verifies the obs.Trace discipline flow-sensitively: a span
+// obtained from Trace.Start or Trace.StartRoot must be ended on every path
+// to the normal function exit. The v1 suite could only check this invariant
+// by convention; the CFG makes it a theorem about the function's paths —
+// an early return between Start and End is caught even when the happy path
+// ends the span correctly.
+//
+// The check is per-definition: a deferred End (direct or inside a deferred
+// function literal) covers every exit after its registration point; an End
+// on only one branch of an if leaves the other branch exposed; reassigning
+// the span variable before ending it is itself a leak. Passing the span to
+// another function or storing it in a structure hands the End responsibility
+// to code this analysis cannot see, so such definitions are skipped rather
+// than guessed at.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc:  "obs spans must be ended on every path to the function exit",
+	Run:  runSpanLeak,
+}
+
+func runSpanLeak(pass *Pass) {
+	runReleaseRule(pass, releaseRule{
+		ctors:         map[string]bool{"Start": true, "StartRoot": true},
+		resultType:    "Span",
+		release:       "End",
+		what:          "span",
+		reportDiscard: true,
+		// Any non-sanctioned use — call argument, composite literal field,
+		// return, channel send — moves the span out of this function's hands.
+		escapeIsTransfer: func(parent ast.Node, id *ast.Ident) bool { return true },
+	})
+}

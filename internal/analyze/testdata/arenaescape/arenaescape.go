@@ -1,0 +1,84 @@
+// Package fixture seeds arenaescape violations: slices and maps backed by
+// an arena-marked scratch type escaping into Result/Stats structs or out of
+// exported functions. The //reschedvet:arena directive below is the same
+// marker sched's state type carries.
+package fixture
+
+// scratch stands in for sched's per-solve state: reusable backing storage
+// the next solve overwrites.
+//
+//reschedvet:arena
+type scratch struct {
+	buf   []int
+	index map[string]int
+	rows  [][]int
+}
+
+// SolveResult mirrors a published result carrier (suffix "Result").
+type SolveResult struct {
+	Placements []int
+}
+
+// SolveStats mirrors a published stats carrier (suffix "Stats").
+type SolveStats struct {
+	ByName map[string]int
+}
+
+// BadReturn publishes the arena's backing array from an exported function.
+func BadReturn(s *scratch) []int {
+	return s.buf // want "aliases the scratch arena"
+}
+
+// BadSliceReturn still aliases through a slice expression.
+func BadSliceReturn(s *scratch, n int) []int {
+	return s.buf[:n] // want "aliases the scratch arena"
+}
+
+// badStore parks arena storage in a struct that outlives the solve.
+func badStore(s *scratch, r *SolveResult) {
+	r.Placements = s.buf // want "aliases the scratch arena"
+}
+
+// badAppendAlias may reuse the arena's backing array when capacity suffices.
+func badAppendAlias(s *scratch, r *SolveResult) {
+	r.Placements = append(s.buf, 1) // want "aliases the scratch arena"
+}
+
+// badComposite builds a stats carrier directly over arena storage.
+func badComposite(s *scratch) SolveStats {
+	return SolveStats{ByName: s.index} // want "aliases the scratch arena"
+}
+
+// badRowAlias publishes one row of an arena-backed slice of slices.
+func badRowAlias(s *scratch, r *SolveResult, i int) {
+	r.Placements = s.rows[i] // want "aliases the scratch arena"
+}
+
+// GoodCopy copies out of the arena before publishing: the canonical fix.
+func GoodCopy(s *scratch) []int {
+	out := make([]int, len(s.buf))
+	copy(out, s.buf)
+	return out
+}
+
+// GoodAppendFresh rebases onto a nil destination: fresh backing array.
+func GoodAppendFresh(s *scratch) []int {
+	return append([]int(nil), s.buf...)
+}
+
+// GoodScalar reads a value, not a reference: no aliasing.
+func GoodScalar(s *scratch) int {
+	return s.buf[0]
+}
+
+// internalView hands an arena view to another unexported helper: legal, the
+// copy boundary is where the Result is built.
+func internalView(s *scratch, n int) []int {
+	return s.buf[:n]
+}
+
+// SuppressedReturn shows the escape hatch for a documented zero-copy API.
+func SuppressedReturn(s *scratch) []int {
+	//reschedvet:ignore arenaescape fixture demonstrates the escape hatch
+	return s.buf
+}

@@ -1,0 +1,97 @@
+// Package fixture seeds budgetloop violations: condition-less loops that
+// never poll the budget, in a package the analyzer treats as solver scope
+// (every "fixture/..." path is in scope so this file can exercise the rule).
+// Budget is declared locally and matched structurally by type name and the
+// polling method names Check, Charge and Cancelled.
+package fixture
+
+// Budget stands in for budget.Budget.
+type Budget struct{}
+
+// Check mirrors budget.Budget.Check.
+func (b *Budget) Check() error { return nil }
+
+// Charge mirrors budget.Budget.Charge.
+func (b *Budget) Charge(n int64) error { return nil }
+
+// Cancelled mirrors budget.Budget.Cancelled.
+func (b *Budget) Cancelled() bool { return false }
+
+func step() bool { return false }
+
+// pollingHelper polls the budget on the caller's behalf: loops calling it
+// count as budget-aware through the module call-graph index.
+func pollingHelper(b *Budget) bool { return b.Cancelled() }
+
+// deepHelper polls transitively, two calls away from the loop.
+func deepHelper(b *Budget) bool { return pollingHelper(b) }
+
+// silentHelper does arbitrary work but never polls.
+func silentHelper() bool { return step() }
+
+// badSpin loops forever without ever consulting the budget.
+func badSpin(b *Budget) {
+	for { // want "never polls the budget"
+		if step() {
+			return
+		}
+	}
+}
+
+// badSilentCallee calls a helper, but the helper does not poll either.
+func badSilentCallee(b *Budget) {
+	for { // want "never polls the budget"
+		if silentHelper() {
+			return
+		}
+	}
+}
+
+// goodDirectPoll checks the budget at every turn of the loop.
+func goodDirectPoll(b *Budget) {
+	for {
+		if b.Check() != nil {
+			return
+		}
+		step()
+	}
+}
+
+// goodChargePoll charges per unit of work, the branch-and-bound idiom.
+func goodChargePoll(b *Budget) {
+	for {
+		if b.Charge(1) != nil {
+			return
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+// goodTransitivePoll polls through two levels of module callees.
+func goodTransitivePoll(b *Budget) {
+	for {
+		if deepHelper(b) {
+			return
+		}
+	}
+}
+
+// goodBoundedLoop has a condition: termination does not rest on the budget.
+func goodBoundedLoop(b *Budget) {
+	for i := 0; i < 10; i++ {
+		step()
+	}
+}
+
+// suppressed shows the escape hatch for a loop whose termination is proven
+// by other means.
+func suppressed() {
+	//reschedvet:ignore budgetloop fixture demonstrates the escape hatch
+	for {
+		if step() {
+			return
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package fixture seeds goleak violations: goroutines started in a library
+// package with no reachable join on some path to the function exit.
+// WaitGroup is declared locally and matched structurally (any Wait method on
+// a type named WaitGroup); receives and channel ranges are recognised by
+// type, so the fixture's channels are ordinary ones.
+package fixture
+
+// WaitGroup stands in for sync.WaitGroup.
+type WaitGroup struct{}
+
+// Add mirrors sync.WaitGroup.Add.
+func (wg *WaitGroup) Add(n int) {}
+
+// Done mirrors sync.WaitGroup.Done.
+func (wg *WaitGroup) Done() {}
+
+// Wait mirrors sync.WaitGroup.Wait.
+func (wg *WaitGroup) Wait() {}
+
+func work() {}
+
+// badFireAndForget spawns and returns; the goroutine outlives the function.
+func badFireAndForget() {
+	go work() // want "not joined on every path"
+}
+
+// badConditionalJoin waits on the happy path but the early return escapes.
+func badConditionalJoin(c bool, wg *WaitGroup) {
+	wg.Add(1)
+	go work() // want "not joined on every path"
+	if c {
+		return
+	}
+	wg.Wait()
+}
+
+// goodWaitGroup is the spawn/Wait idiom of the parallel searches.
+func goodWaitGroup(wg *WaitGroup, workers int) {
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// goodDeferredWait registers the join before spawning; every exit after the
+// spawn runs it.
+func goodDeferredWait(wg *WaitGroup, c bool) {
+	wg.Add(1)
+	defer wg.Wait()
+	go work()
+	if c {
+		return
+	}
+	work()
+}
+
+// goodChannelReceive joins by receiving the goroutine's completion signal.
+func goodChannelReceive() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// goodRangeDrain joins by draining the goroutine's output channel.
+func goodRangeDrain() {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		ch <- 1
+	}()
+	for range ch {
+	}
+}
+
+// suppressed shows the escape hatch for a genuinely detached goroutine.
+func suppressed() {
+	//reschedvet:ignore goleak fixture demonstrates the escape hatch
+	go work()
+}

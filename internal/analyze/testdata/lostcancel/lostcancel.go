@@ -1,0 +1,84 @@
+// Package fixture seeds lostcancel violations: child budgets derived with
+// WithTimeout that are not cancelled on every path. Budget is declared
+// locally (fixtures cannot import module packages) but mirrors the
+// structural shape the analyzer matches on: a constructor named WithTimeout
+// returning a *Budget with a Cancel method.
+package fixture
+
+// Budget stands in for budget.Budget.
+type Budget struct{}
+
+// WithTimeout mirrors budget.Budget.WithTimeout (the timeout unit is
+// irrelevant to the analyzer, which matches name and result type).
+func (b *Budget) WithTimeout(ms int) *Budget { return &Budget{} }
+
+// Cancel mirrors budget.Budget.Cancel.
+func (b *Budget) Cancel() {}
+
+// Check mirrors budget.Budget.Check.
+func (b *Budget) Check() error { return nil }
+
+// Options carries a budget into a callee, like sched.Options.
+type Options struct{ Budget *Budget }
+
+func solve(o Options) {}
+
+// badNeverCancelled derives a child, hands it to a callee (which does not
+// transfer the Cancel duty — the creator still owns it) and forgets Cancel.
+func badNeverCancelled(b *Budget) {
+	child := b.WithTimeout(100) // want "not Cancel-ed on every path"
+	solve(Options{Budget: child})
+}
+
+// badErrorPathSkipsCancel cancels on the happy path but leaks through the
+// early error return.
+func badErrorPathSkipsCancel(b *Budget) error {
+	child := b.WithTimeout(100) // want "not Cancel-ed on every path"
+	if err := child.Check(); err != nil {
+		return err
+	}
+	child.Cancel()
+	return nil
+}
+
+// badDiscarded never binds the child at all.
+func badDiscarded(b *Budget) {
+	b.WithTimeout(100) // want "discarded"
+}
+
+// goodDeferred is the canonical fix: defer right after the derivation.
+func goodDeferred(b *Budget) error {
+	child := b.WithTimeout(100)
+	defer child.Cancel()
+	if err := child.Check(); err != nil {
+		return err
+	}
+	solve(Options{Budget: child})
+	return nil
+}
+
+// goodEveryBranch cancels explicitly on each path.
+func goodEveryBranch(b *Budget, c bool) {
+	child := b.WithTimeout(100)
+	if c {
+		child.Cancel()
+		return
+	}
+	solve(Options{Budget: child})
+	child.Cancel()
+}
+
+// goodReturned transfers ownership to the caller: returning the child is
+// the one use that moves the Cancel duty out of this function.
+func goodReturned(b *Budget) *Budget {
+	child := b.WithTimeout(100)
+	return child
+}
+
+// suppressed shows the escape hatch for a child whose cancellation an outer
+// mechanism genuinely owns.
+func suppressed(b *Budget) {
+	//reschedvet:ignore lostcancel fixture demonstrates the escape hatch
+	child := b.WithTimeout(100)
+	solve(Options{Budget: child})
+}

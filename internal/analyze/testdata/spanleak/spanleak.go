@@ -1,0 +1,146 @@
+// Package fixture seeds spanleak violations: spans obtained from
+// Trace.Start/StartRoot that are not ended on every path to the function
+// exit. Trace and Span are declared locally (fixtures cannot import module
+// packages) but mirror the structural shape the analyzer matches on: a
+// constructor named Start or StartRoot returning a *Span.
+package fixture
+
+// Trace stands in for obs.Trace.
+type Trace struct{}
+
+// Span stands in for obs.Span.
+type Span struct{}
+
+// Start mirrors obs.Trace.Start.
+func (t *Trace) Start(name string) *Span { return &Span{} }
+
+// StartRoot mirrors obs.Trace.StartRoot.
+func (t *Trace) StartRoot(name string) *Span { return &Span{} }
+
+// End mirrors obs.Span.End.
+func (s *Span) End() {}
+
+// Annotate is an arbitrary non-End method: calling it does not release.
+func (s *Span) Annotate(k, v string) {}
+
+// register stands in for any callee the span could be handed to.
+func register(s *Span) {}
+
+func work() {}
+
+// badEarlyReturn ends the span on the happy path only: the early return
+// escapes.
+func badEarlyReturn(t *Trace, c bool) {
+	sp := t.Start("phase") // want "not End-ed on every path"
+	if c {
+		return
+	}
+	sp.End()
+}
+
+// badBranchOnly ends the span on one branch; the fall-through leaks.
+func badBranchOnly(t *Trace, c bool) {
+	sp := t.StartRoot("solve") // want "not End-ed on every path"
+	if c {
+		sp.End()
+	}
+}
+
+// badDiscarded never binds the span, so nothing can ever end it.
+func badDiscarded(t *Trace) {
+	t.Start("phase") // want "discarded"
+}
+
+// badReassignedBeforeEnd overwrites the first span before ending it; only
+// the second one is released.
+func badReassignedBeforeEnd(t *Trace) {
+	sp := t.Start("a") // want "not End-ed on every path"
+	sp = t.Start("b")
+	sp.End()
+}
+
+// badDefaultlessSwitch can skip every case and reach the exit unreleased.
+func badDefaultlessSwitch(t *Trace, v int) {
+	sp := t.Start("phase") // want "not End-ed on every path"
+	switch v {
+	case 1:
+		sp.End()
+	}
+}
+
+// goodDeferred registers the release up front; every exit is covered.
+func goodDeferred(t *Trace, c bool) {
+	sp := t.Start("phase")
+	defer sp.End()
+	if c {
+		return
+	}
+	work()
+}
+
+// goodDeferredClosure releases through a deferred function literal.
+func goodDeferredClosure(t *Trace) {
+	sp := t.Start("phase")
+	defer func() {
+		sp.End()
+	}()
+	work()
+}
+
+// goodBothBranches ends the span on every branch explicitly.
+func goodBothBranches(t *Trace, c bool) {
+	sp := t.Start("phase")
+	if c {
+		sp.End()
+	} else {
+		sp.End()
+	}
+}
+
+// goodAfterJoin uses the span and ends it once past the branch join.
+func goodAfterJoin(t *Trace, c bool) {
+	sp := t.Start("phase")
+	if c {
+		sp.Annotate("k", "v")
+	}
+	sp.End()
+}
+
+// goodLoopEnd ends the span before the only way out of the loop.
+func goodLoopEnd(t *Trace, c bool) {
+	sp := t.Start("phase")
+	for {
+		if c {
+			sp.End()
+			break
+		}
+		work()
+	}
+}
+
+// goodHandedOff passes the span to a callee: release responsibility moves
+// with it, so the definition is skipped rather than guessed at.
+func goodHandedOff(t *Trace) {
+	sp := t.Start("phase")
+	register(sp)
+}
+
+// goodPanicPath may panic before the End; panic unwind is not an escape.
+func goodPanicPath(t *Trace, c bool) {
+	sp := t.Start("phase")
+	if c {
+		panic("boom")
+	}
+	sp.End()
+}
+
+// suppressed shows the escape hatch for a span whose lifetime an outer
+// mechanism genuinely owns.
+func suppressed(t *Trace, c bool) {
+	//reschedvet:ignore spanleak fixture demonstrates the escape hatch
+	sp := t.Start("phase")
+	if c {
+		return
+	}
+	sp.End()
+}

@@ -23,8 +23,13 @@
 // within a few hundred nodes.
 //
 // Budgets form a tree: WithTimeout derives a child with a tighter deadline
-// that shares the parent's cancellation flag and node accounting, which is
-// how PA-R's per-call TimeBudget nests inside an overall pipeline budget.
+// that shares the parent's node accounting and observes the parent's
+// cancellation, which is how PA-R's per-call TimeBudget nests inside an
+// overall pipeline budget. Cancellation flows downward only: cancelling a
+// parent trips every descendant, while cancelling a child retires just its
+// own subtree — so a phase that derives a scoped child can (and must, see
+// the lostcancel analyzer) `defer child.Cancel()` without ending the
+// pipeline it nests in.
 package budget
 
 import (
@@ -117,12 +122,31 @@ type Options struct {
 	Clock Clock
 }
 
-// shared is the state common to a budget and all WithTimeout children:
-// cancellation and node accounting propagate across the whole tree.
+// shared is the state common to a budget and all WithTimeout children: node
+// accounting propagates across the whole tree.
 type shared struct {
-	cancelled atomic.Bool
-	nodes     atomic.Int64
-	ticks     atomic.Int64 // Charge calls since the last clock read
+	nodes atomic.Int64
+	ticks atomic.Int64 // Charge calls since the last clock read
+}
+
+// cancelNode is one link in the downward-only cancellation chain. Each
+// budget owns a node whose parent pointer leads to the budget it was derived
+// from; a budget is cancelled when any node on its chain is tripped, so a
+// parent's Cancel reaches every descendant while a child's Cancel stays
+// invisible to its ancestors.
+type cancelNode struct {
+	flag   atomic.Bool
+	parent *cancelNode
+}
+
+// tripped walks the chain towards the root.
+func (c *cancelNode) tripped() bool {
+	for n := c; n != nil; n = n.parent {
+		if n.flag.Load() {
+			return true
+		}
+	}
+	return false
 }
 
 // Budget tracks one pipeline's resource allowance. Construct with New (or
@@ -131,6 +155,7 @@ type shared struct {
 // from another goroutine.
 type Budget struct {
 	s        *shared
+	cancel   *cancelNode
 	clock    Clock
 	deadline time.Time // zero means no deadline
 	maxNodes int64     // 0 means no cap
@@ -141,6 +166,7 @@ type Budget struct {
 func New(opt Options) *Budget {
 	b := &Budget{
 		s:        &shared{},
+		cancel:   &cancelNode{},
 		clock:    opt.Clock,
 		maxNodes: opt.MaxNodes,
 		strided:  opt.Clock == nil,
@@ -159,10 +185,13 @@ func New(opt Options) *Budget {
 }
 
 // WithTimeout derives a child budget whose deadline is at most d from now,
-// sharing the receiver's cancellation flag, node accounting and clock: a
-// Cancel on either side stops both, and nodes charged to the child count
-// against the parent's cap. A non-positive d leaves the deadline unchanged.
-// On a nil receiver it is equivalent to New(Options{Timeout: d}).
+// sharing the receiver's node accounting and clock and observing its
+// cancellation: cancelling the parent trips the child, nodes charged to the
+// child count against the parent's cap, but the child's own Cancel retires
+// only the child (and budgets derived from it) — the parent keeps running.
+// Callers own the child's lifetime and should `defer child.Cancel()`; the
+// lostcancel analyzer enforces this. A non-positive d leaves the deadline
+// unchanged. On a nil receiver it is equivalent to New(Options{Timeout: d}).
 func (b *Budget) WithTimeout(d time.Duration) *Budget {
 	if b == nil {
 		if d <= 0 {
@@ -171,6 +200,7 @@ func (b *Budget) WithTimeout(d time.Duration) *Budget {
 		return New(Options{Timeout: d})
 	}
 	child := *b
+	child.cancel = &cancelNode{parent: b.cancel}
 	if d > 0 {
 		dl := b.clock().Add(d)
 		if child.deadline.IsZero() || dl.Before(child.deadline) {
@@ -180,19 +210,21 @@ func (b *Budget) WithTimeout(d time.Duration) *Budget {
 	return &child
 }
 
-// Cancel trips the budget (and every budget sharing its state): the next
-// Charge or Check returns ErrCancelled. Idempotent and safe from any
-// goroutine; this is the cooperative-cancellation entry point.
+// Cancel trips the budget and every budget derived from it via WithTimeout:
+// their next Charge or Check returns ErrCancelled. Ancestors are unaffected.
+// Idempotent and safe from any goroutine; this is the cooperative-
+// cancellation entry point.
 func (b *Budget) Cancel() {
 	if b == nil {
 		return
 	}
-	b.s.cancelled.Store(true)
+	b.cancel.flag.Store(true)
 }
 
-// Cancelled reports whether Cancel has been called.
+// Cancelled reports whether Cancel has been called on this budget or on an
+// ancestor it was derived from.
 func (b *Budget) Cancelled() bool {
-	return b != nil && b.s.cancelled.Load()
+	return b != nil && b.cancel.tripped()
 }
 
 // Nodes returns the cumulative nodes charged so far across the budget tree.
@@ -229,7 +261,7 @@ func (b *Budget) Charge(n int64) error {
 	if b == nil {
 		return nil
 	}
-	if b.s.cancelled.Load() {
+	if b.cancel.tripped() {
 		return ErrCancelled
 	}
 	nodes := b.s.nodes.Add(n)
@@ -254,7 +286,7 @@ func (b *Budget) Check() error {
 	if b == nil {
 		return nil
 	}
-	if b.s.cancelled.Load() {
+	if b.cancel.tripped() {
 		return ErrCancelled
 	}
 	if b.maxNodes > 0 && b.s.nodes.Load() >= b.maxNodes {

@@ -176,10 +176,40 @@ func TestWithTimeoutSharesCancelAndNodes(t *testing.T) {
 		t.Fatalf("parent charge past shared cap = %v", err)
 	}
 
-	// Cancel propagates both ways through the shared state.
+	// Cancel flows downward only: the child's Cancel retires the child
+	// without touching the parent, so `defer child.Cancel()` is always safe.
 	child.Cancel()
-	if !parent.Cancelled() {
-		t.Fatal("parent not cancelled via child")
+	if !child.Cancelled() {
+		t.Fatal("child not cancelled by its own Cancel")
+	}
+	if parent.Cancelled() {
+		t.Fatal("child Cancel leaked upward to the parent")
+	}
+}
+
+func TestCancelFlowsDownward(t *testing.T) {
+	parent := New(Options{})
+	child := parent.WithTimeout(time.Hour)
+	grandchild := child.WithTimeout(time.Hour)
+	sibling := parent.WithTimeout(time.Hour)
+
+	child.Cancel()
+	if !grandchild.Cancelled() {
+		t.Fatal("grandchild survived its parent's Cancel")
+	}
+	if sibling.Cancelled() || parent.Cancelled() {
+		t.Fatal("Cancel escaped the cancelled subtree")
+	}
+	if err := grandchild.Check(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("grandchild Check = %v, want ErrCancelled", err)
+	}
+	if err := sibling.Check(); err != nil {
+		t.Fatalf("sibling Check = %v, want nil", err)
+	}
+
+	parent.Cancel()
+	if !sibling.Cancelled() {
+		t.Fatal("root Cancel did not reach the sibling subtree")
 	}
 }
 

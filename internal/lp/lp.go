@@ -13,6 +13,8 @@ package lp
 import (
 	"errors"
 	"fmt"
+
+	"resched/internal/budget"
 )
 
 // Op is a constraint relation.
@@ -145,14 +147,25 @@ type Solution struct {
 
 const eps = 1e-9
 
-// Solve runs the two-phase simplex method.
-func (p *Problem) Solve() (*Solution, error) {
+// Solve runs the two-phase simplex method without a budget.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveBudget(nil) }
+
+// SolveBudget runs the two-phase simplex method under a budget: every pivot
+// polls the budget's cancellation flag, so a Cancel lands within one pivot
+// even on a degenerate model. The poll is cancellation-only — no nodes are
+// charged (node accounting belongs to the caller's granularity, one charge
+// per branch-and-bound node in package milp) and the clock is not read (the
+// deadline is enforced by the caller's strided Charge). A cancelled solve
+// returns an error matching budget.ErrCancelled with no Solution; callers
+// that treat exhaustion as a limit stop (milp does) translate it. A nil
+// budget means unlimited and makes SolveBudget identical to Solve.
+func (p *Problem) SolveBudget(bud *budget.Budget) (*Solution, error) {
 	t := newTableau(p)
 	sol := &Solution{}
 	// Phase 1: minimize the sum of artificial variables.
 	if t.numArtificial > 0 {
 		t.installPhase1Objective()
-		if err := t.iterate(&sol.Iterations); err != nil {
+		if err := t.iterate(bud, &sol.Iterations); err != nil {
 			return nil, err
 		}
 		if t.objectiveValue() > eps {
@@ -165,7 +178,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	// Phase 2: original objective.
 	t.installPhase2Objective(p)
-	if err := t.iterate(&sol.Iterations); err != nil {
+	if err := t.iterate(bud, &sol.Iterations); err != nil {
 		if errors.Is(err, errUnbounded) {
 			sol.Status = Unbounded
 			return sol, nil

@@ -1,6 +1,10 @@
 package lp
 
-import "errors"
+import (
+	"errors"
+
+	"resched/internal/budget"
+)
 
 var errUnbounded = errors.New("lp: unbounded")
 
@@ -135,9 +139,14 @@ func (t *tableau) installPhase2Objective(p *Problem) {
 func (t *tableau) objectiveValue() float64 { return -t.obj[t.total] }
 
 // iterate pivots until optimality (no negative reduced cost) using Bland's
-// rule, or reports unboundedness.
-func (t *tableau) iterate(pivots *int) error {
+// rule, or reports unboundedness. Each pivot polls the budget's cancellation
+// flag (a few atomic loads; the clock is never read here) so a cooperative
+// Cancel interrupts even a pivot-heavy phase promptly.
+func (t *tableau) iterate(bud *budget.Budget, pivots *int) error {
 	for {
+		if bud.Cancelled() {
+			return budget.ErrCancelled
+		}
 		// Entering column: smallest index with negative reduced cost;
 		// artificial columns never enter.
 		enter := -1

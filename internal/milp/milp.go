@@ -6,6 +6,7 @@
 package milp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -171,8 +172,13 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 				row[i] = 0
 			}
 		}
-		rsol, err := relax.Solve()
+		rsol, err := relax.SolveBudget(opt.Budget)
 		if err != nil {
+			if errors.Is(err, budget.ErrExhausted) {
+				// A cancel that lands mid-relaxation is the same limit stop
+				// as one caught by the Charge above: return the incumbent.
+				return p.finish(sol, best, bestObj, false), nil
+			}
 			return nil, fmt.Errorf("milp: node relaxation: %w", err)
 		}
 		switch rsol.Status {

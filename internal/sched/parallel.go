@@ -84,15 +84,17 @@ type parResult struct {
 // runs regardless of interleaving.
 func rscheduleParallel(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fabric, opts RandomOptions, workers int) (*schedule.Schedule, *RandomStats, error) {
 	start := time.Now()
-	// One timeout child shared by every worker: cancellation, deadline and
-	// the node cap all live in the shared budget, so exhaustion observed by
-	// one worker is observed by all at their next check.
+	// One timeout child shared by every worker: deadline and node cap live
+	// in the shared budget state, so exhaustion observed by one worker is
+	// observed by all at their next check. The deferred Cancel retires the
+	// child once every worker has joined; it cannot poison the caller's
+	// budget tree because Cancel flows downward only.
 	bud := opts.Budget.WithTimeout(opts.TimeBudget)
+	defer bud.Cancel()
 	shared := &sharedCapFactor{min: 1.0}
 	// stop propagates a hard error: the failing worker raises the flag and
-	// the others exit at their next iteration boundary. The shared budget is
-	// deliberately NOT cancelled for this — it may be the caller's budget
-	// tree, and poisoning it would fail unrelated work after we return.
+	// the others exit at their next iteration boundary without cancelling
+	// the shared child — the survivors' partial results stay comparable.
 	var stop atomic.Bool
 
 	results := make([]parResult, workers)

@@ -144,9 +144,14 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
-	// The per-call TimeBudget nests inside the caller's overall budget:
-	// cancellation and the node cap are shared, the deadline tightens.
+	// The per-call TimeBudget nests inside the caller's overall budget: the
+	// node cap is shared, the parent's cancellation is observed and the
+	// deadline tightens. Retiring the child on return keeps the caller's
+	// budget untouched (Cancel flows downward only) while making sure no
+	// code reached after this call can still charge against the expired
+	// TimeBudget window.
 	bud := opts.Budget.WithTimeout(opts.TimeBudget)
+	defer bud.Cancel()
 	stats := &RandomStats{}
 	var best *schedule.Schedule
 

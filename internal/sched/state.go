@@ -20,6 +20,12 @@ import (
 // instead of reallocating them, which is what keeps the per-iteration
 // allocation count flat. A state must only ever be used by one goroutine —
 // parallel searches give every worker its own scratch.
+//
+// The arena marker below enrolls the type with the arenaescape analyzer:
+// slices and maps read out of a state must be copied before they reach a
+// Result/Stats struct or leave an exported function.
+//
+//reschedvet:arena
 type state struct {
 	g *taskgraph.Graph
 	a *arch.Architecture

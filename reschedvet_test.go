@@ -11,7 +11,12 @@ import (
 // determinism and correctness invariants (see internal/analyze). This keeps
 // `go test ./...` red while a nondeterministic map iteration, a use of the
 // global rand source, an exact float comparison, an unstable single-key
-// sort, or a dropped I/O error exists anywhere in shipped code.
+// sort, or a dropped I/O error exists anywhere in shipped code — and, with
+// the flow-sensitive v2 analyzers (internal/analyze/cfg), while any path
+// leaks an obs span, spins a solver loop without polling its budget,
+// forgets a WithTimeout child's Cancel, leaves a library goroutine
+// unjoined, or lets scratch-arena memory escape into a Result. All()
+// returns the full suite, so newly added analyzers gate automatically.
 func TestReschedvetClean(t *testing.T) {
 	pkgs, err := analyze.LoadModule(".")
 	if err != nil {
