@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz
+.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz obs-smoke
 
 verify: fmt-check vet build race reschedvet solvecheck
 	@echo "verify: all gates passed"
@@ -46,11 +46,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoadGraphJSON -fuzztime $(FUZZTIME) ./internal/taskgraph
 	$(GO) test -run '^$$' -fuzz FuzzCheckSchedule -fuzztime $(FUZZTIME) ./internal/schedule
 
-# bench runs the Table I suite (plus the PA-R worker-scaling benchmarks)
-# and records it as structured JSON, the file successive PRs diff to track
-# scheduler performance over time.
+# bench runs the Table I suite (plus the PA-R worker-scaling benchmarks and
+# the nil-trace overhead guard) and records it as structured JSON, the file
+# successive PRs diff to track scheduler performance over time.
+BENCH_RE = BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances|BenchmarkNilTrace
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
 
 # benchcmp is the regression gate: re-run the bench suite into a scratch
 # file and compare it against the committed baseline. Any benchmark more
@@ -59,8 +60,24 @@ bench:
 # bench` when a regression is intentional and explained in the PR.
 THRESHOLD ?= 15
 benchcmp:
-	$(GO) test -run '^$$' -bench 'BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances' -benchmem . | $(GO) run ./cmd/benchjson -o /tmp/BENCH_new.json
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem . | $(GO) run ./cmd/benchjson -o /tmp/BENCH_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) BENCH_table1.json /tmp/BENCH_new.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# obs-smoke exercises the full observability export surface end-to-end:
+# one traced pasched run writing all three artefacts, then a sanity pass
+# over them (valid JSON, the expected top-level keys, a non-empty trace).
+# Artefacts land in OBS_SMOKE_DIR (default obs-smoke/, gitignored) so CI
+# can upload them.
+OBS_SMOKE_DIR ?= obs-smoke
+obs-smoke:
+	mkdir -p $(OBS_SMOKE_DIR)
+	$(GO) run ./cmd/pasched -graph examples/graphs/tg60.json -algo par \
+		-budget 0 -iterations 25 -workers 1 -seed 1 \
+		-trace $(OBS_SMOKE_DIR)/trace.json \
+		-metrics $(OBS_SMOKE_DIR)/metrics.json \
+		-events $(OBS_SMOKE_DIR)/events.json > $(OBS_SMOKE_DIR)/schedule.txt
+	$(GO) run ./cmd/obscheck $(OBS_SMOKE_DIR)/trace.json $(OBS_SMOKE_DIR)/metrics.json $(OBS_SMOKE_DIR)/events.json
+	@echo "obs-smoke: artefacts in $(OBS_SMOKE_DIR)/"

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,6 +28,7 @@ import (
 	"resched/internal/budget"
 	"resched/internal/experiments"
 	"resched/internal/obs"
+	"resched/internal/obs/obshttp"
 )
 
 func main() {
@@ -37,8 +39,8 @@ func main() {
 }
 
 // run holds the whole command so error returns unwind through the deferred
-// profile finaliser; os.Exit in main would skip it.
-func run() error {
+// profile/trace finalisers; os.Exit in main would skip them.
+func run() (retErr error) {
 	var (
 		exp         = flag.String("exp", "all", "experiment: all, table1, fig2, fig3, fig4, fig5, fig6, contention, parallelism or optgap")
 		perGroup    = flag.Int("per-group", 10, "instances per task-count group")
@@ -49,7 +51,9 @@ func run() error {
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the suite evaluation; on exhaustion the run stops early and reports the completed instances (0 = unlimited)")
 		robust      = flag.Bool("robust", false, "additionally run the degradation ladder per instance and report the rung distribution")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
-		metricsPath = flag.String("metrics", "", "write flat counters and span aggregates as JSON")
+		metricsPath = flag.String("metrics", "", "write flat counters, span aggregates and histograms as JSON")
+		eventsPath  = flag.String("events", "", "write the flight-recorder events as JSON")
+		serveDebug  = flag.String("serve-debug", "", "serve /metrics, /debug/trace, /debug/events and pprof on this address while the sweep runs (e.g. :8080)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (runtime/pprof)")
 	)
@@ -71,13 +75,30 @@ func run() error {
 	}
 
 	var trace *obs.Trace
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *serveDebug != "" {
 		trace = obs.New()
+	}
+	// Deferred so the artefacts are written even when the sweep fails or is
+	// cut short: an exhausted or aborted run is when the recorder matters.
+	defer func() {
+		if err := exportObservability(trace, *tracePath, *metricsPath, *eventsPath); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	// The live surface is the point of -serve-debug on this command: a
+	// multi-hour sweep can be watched (and pprof'd) while it runs.
+	if *serveDebug != "" {
+		srv, err := obshttp.Serve(*serveDebug, trace)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "debug surface on %s\n", srv.URL())
 	}
 
 	cfg := experiments.Config{Seed: *seed, PerGroup: *perGroup, Validate: true, Trace: trace, Robust: *robust, Workers: *workers}
 	if *timeout > 0 {
-		cfg.Budget = budget.New(budget.Options{Timeout: *timeout})
+		cfg.Budget = budget.New(budget.Options{Timeout: *timeout, Trace: trace})
 	}
 	want := strings.ToLower(*exp)
 	needSuite := want != "fig6" && want != "contention" && want != "parallelism" && want != "optgap"
@@ -159,35 +180,6 @@ func run() error {
 		experiments.WriteOptGap(os.Stdout, points)
 	}
 
-	if trace != nil {
-		if *tracePath != "" {
-			tf, err := os.Create(*tracePath)
-			if err != nil {
-				return err
-			}
-			if err := trace.WriteChromeTrace(tf); err != nil {
-				return err
-			}
-			if err := tf.Close(); err != nil {
-				return err
-			}
-		}
-		if *metricsPath != "" {
-			mf, err := os.Create(*metricsPath)
-			if err != nil {
-				return err
-			}
-			if err := trace.WriteMetricsJSON(mf); err != nil {
-				return err
-			}
-			if err := mf.Close(); err != nil {
-				return err
-			}
-		}
-		if err := trace.WriteSummary(os.Stderr); err != nil {
-			return err
-		}
-	}
 	if *memProfile != "" {
 		mf, err := os.Create(*memProfile)
 		if err != nil {
@@ -202,4 +194,37 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// exportObservability writes the trace-event, metrics and events files and
+// prints the summary to stderr when tracing was enabled; it runs deferred
+// so failed or budget-cut sweeps still export what they recorded.
+func exportObservability(trace *obs.Trace, tracePath, metricsPath, eventsPath string) error {
+	if trace == nil {
+		return nil
+	}
+	writeFile := func(path string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile(tracePath, trace.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := writeFile(metricsPath, trace.WriteMetricsJSON); err != nil {
+		return err
+	}
+	if err := writeFile(eventsPath, trace.WriteEventsJSON); err != nil {
+		return err
+	}
+	return trace.WriteSummary(os.Stderr)
 }

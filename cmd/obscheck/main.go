@@ -1,0 +1,153 @@
+// Command obscheck sanity-checks the three observability artefacts a
+// traced run exports — the Chrome trace-event file, the metrics document
+// and the flight-recorder dump — and exits non-zero if any is malformed.
+// It is the assertion half of `make obs-smoke`: the smoke run produces the
+// files, obscheck proves they are well-formed and non-trivial (valid JSON,
+// the expected top-level shape, at least one span / counter / histogram,
+// every recorded event carrying a name and a sequence number).
+//
+// Usage:
+//
+//	obscheck trace.json metrics.json events.json
+//
+// Arguments are positional and all required, in that order.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 4 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck trace.json metrics.json events.json")
+		os.Exit(2)
+	}
+	checks := []struct {
+		path  string
+		check func([]byte) error
+	}{
+		{os.Args[1], checkTrace},
+		{os.Args[2], checkMetrics},
+		{os.Args[3], checkEvents},
+	}
+	failed := false
+	for _, c := range checks {
+		data, err := os.ReadFile(c.path)
+		if err == nil {
+			err = c.check(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", c.path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("obscheck: %s ok\n", c.path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkTrace validates the Chrome trace-event file: displayTimeUnit and a
+// non-empty traceEvents array whose entries all carry a name and a phase,
+// with at least one complete ("X") span among them.
+func checkTrace(data []byte) error {
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.DisplayTimeUnit == "" {
+		return fmt.Errorf("missing displayTimeUnit")
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents")
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			return fmt.Errorf("traceEvents[%d] missing name or ph", i)
+		}
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("no complete (ph=X) spans among %d events", len(doc.TraceEvents))
+	}
+	return nil
+}
+
+// checkMetrics validates the metrics document: at least one counter, one
+// span aggregate and one histogram, and every histogram internally
+// consistent (count > 0, min <= p50 <= p99 <= max).
+func checkMetrics(data []byte) error {
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Spans      map[string]any   `json:"spans"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			Min   float64 `json:"min"`
+			Max   float64 `json:"max"`
+			P50   float64 `json:"p50"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if len(doc.Counters) == 0 {
+		return fmt.Errorf("no counters")
+	}
+	if len(doc.Spans) == 0 {
+		return fmt.Errorf("no span aggregates")
+	}
+	if len(doc.Histograms) == 0 {
+		return fmt.Errorf("no histograms")
+	}
+	for name, h := range doc.Histograms {
+		if h.Count <= 0 {
+			return fmt.Errorf("histogram %s has count %d", name, h.Count)
+		}
+		if h.Min > h.P50 || h.P50 > h.P99 || h.P99 > h.Max {
+			return fmt.Errorf("histogram %s quantiles out of order: min=%g p50=%g p99=%g max=%g",
+				name, h.Min, h.P50, h.P99, h.Max)
+		}
+	}
+	return nil
+}
+
+// checkEvents validates the flight-recorder dump: the all-time seen count
+// covers the recorded slice, and the events are named and in strictly
+// increasing sequence order.
+func checkEvents(data []byte) error {
+	var doc struct {
+		Seen   int64 `json:"seen"`
+		Events []struct {
+			Seq  int64  `json:"seq"`
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Seen < int64(len(doc.Events)) {
+		return fmt.Errorf("seen %d < %d recorded events", doc.Seen, len(doc.Events))
+	}
+	for i, ev := range doc.Events {
+		if ev.Name == "" {
+			return fmt.Errorf("events[%d] missing name", i)
+		}
+		if i > 0 && ev.Seq <= doc.Events[i-1].Seq {
+			return fmt.Errorf("events[%d] seq %d not after %d", i, ev.Seq, doc.Events[i-1].Seq)
+		}
+	}
+	return nil
+}

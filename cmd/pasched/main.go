@@ -10,7 +10,8 @@
 //	        [-budget 2s] [-iterations 0] [-reuse] [-gantt] [-dot out.dot]
 //	        [-seed 1] [-workers 0] [-timeout 0] [-maxnodes 0]
 //	        [-fault-floorplan-infeasible N] [-fault-milp-limit N]
-//	        [-trace trace.json] [-metrics metrics.json]
+//	        [-trace trace.json] [-metrics metrics.json] [-events events.json]
+//	        [-serve-debug :8080]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The -algo values are exactly the registered solver names (solve.List);
@@ -20,8 +21,12 @@
 // -budget 0 -iterations N for a deterministic, machine-independent run.
 //
 // With -trace the run is recorded as a Chrome trace-event file (open it in
-// Perfetto or chrome://tracing); -metrics writes the flat counters/span
-// aggregates as JSON and prints a span summary table to stderr.
+// Perfetto or chrome://tracing); -metrics writes the flat counters, span
+// aggregates and histogram quantiles as JSON and prints a summary table to
+// stderr; -events dumps the flight recorder. -serve-debug mounts the same
+// exporters live on an HTTP address for the duration of the run (GET
+// /metrics, /debug/trace, /debug/events, /debug/summary, /debug/pprof/) —
+// see internal/obs/obshttp.
 //
 // -robust (equivalently -algo robust) runs the degradation ladder
 // (PA → PA-R → all-software) and reports which rung produced the schedule.
@@ -37,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -47,6 +53,7 @@ import (
 	"resched/internal/budget"
 	"resched/internal/faultinject"
 	"resched/internal/obs"
+	"resched/internal/obs/obshttp"
 	"resched/internal/sched"
 	"resched/internal/schedule"
 	"resched/internal/sim"
@@ -77,7 +84,7 @@ func exitCode(err error) int {
 
 // run holds the whole command so error returns unwind through the deferred
 // profile/trace finalisers; os.Exit in main would skip them.
-func run() error {
+func run() (retErr error) {
 	var (
 		graphPath   = flag.String("graph", "", "task-graph JSON file (required)")
 		algo        = flag.String("algo", "pa", "solver: "+strings.Join(solve.List(), ", "))
@@ -94,7 +101,9 @@ func run() error {
 		outPath     = flag.String("out", "", "write the schedule as JSON")
 		svgPath     = flag.String("svg", "", "write the schedule as an SVG Gantt chart")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
-		metricsPath = flag.String("metrics", "", "write flat counters and span aggregates as JSON")
+		metricsPath = flag.String("metrics", "", "write flat counters, span aggregates and histograms as JSON")
+		eventsPath  = flag.String("events", "", "write the flight-recorder events as JSON")
+		serveDebug  = flag.String("serve-debug", "", "serve /metrics, /debug/trace, /debug/events and pprof on this address while the run lasts (e.g. :8080)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (runtime/pprof)")
 
@@ -156,22 +165,40 @@ func run() error {
 		}
 	}
 
-	// One trace serves both exports; it stays nil — a true no-op — unless
-	// observability output was requested.
+	// One trace serves every export and the live surface; it stays nil — a
+	// true no-op — unless observability output was requested.
 	var trace *obs.Trace
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *serveDebug != "" {
 		trace = obs.New()
+	}
+	// Deferred so the artefacts are written on failure too: a budget-exhausted
+	// or faulted run is exactly when the flight recorder matters most.
+	defer func() {
+		if err := writeObservability(trace, *tracePath, *metricsPath, *eventsPath); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	if *serveDebug != "" {
+		srv, err := obshttp.Serve(*serveDebug, trace)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "debug surface on %s\n", srv.URL())
 	}
 
 	// The unified budget and fault set thread through every scheduler layer;
-	// both stay nil (= unlimited / no faults) unless requested.
+	// both stay nil (= unlimited / no faults) unless requested. Both feed
+	// the flight recorder: budget exhaustion and injected faults show up in
+	// -events and /debug/events.
 	var bud *budget.Budget
 	if *timeout > 0 || *maxNodes > 0 {
-		bud = budget.New(budget.Options{Timeout: *timeout, MaxNodes: *maxNodes})
+		bud = budget.New(budget.Options{Timeout: *timeout, MaxNodes: *maxNodes, Trace: trace})
 	}
 	var faults *faultinject.Set
 	if *faultFP != 0 || *faultML != 0 {
 		faults = faultinject.New()
+		faults.SetTrace(trace)
 		if *faultFP != 0 {
 			faults.ForceFloorplanInfeasible(*faultFP)
 		}
@@ -256,9 +283,6 @@ func run() error {
 		fmt.Printf("simulated: makespan %d ticks (%d ticks of static slack recovered), %d events\n",
 			res.Makespan, res.Slack(sch), res.Events)
 	}
-	if err := writeObservability(trace, *tracePath, *metricsPath); err != nil {
-		return err
-	}
 	if *memProfile != "" {
 		mf, err := os.Create(*memProfile)
 		if err != nil {
@@ -275,35 +299,35 @@ func run() error {
 	return nil
 }
 
-// writeObservability exports the trace-event and metrics files and prints
-// the span summary table to stderr when tracing was enabled.
-func writeObservability(trace *obs.Trace, tracePath, metricsPath string) error {
+// writeObservability exports the trace-event, metrics and events files and
+// prints the summary table (spans, histograms, counters, event tail) to
+// stderr when tracing was enabled.
+func writeObservability(trace *obs.Trace, tracePath, metricsPath, eventsPath string) error {
 	if trace == nil {
 		return nil
 	}
-	if tracePath != "" {
-		tf, err := os.Create(tracePath)
+	writeFile := func(path string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteChromeTrace(tf); err != nil {
+		if err := write(f); err != nil {
+			_ = f.Close()
 			return err
 		}
-		if err := tf.Close(); err != nil {
-			return err
-		}
+		return f.Close()
 	}
-	if metricsPath != "" {
-		mf, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := trace.WriteMetricsJSON(mf); err != nil {
-			return err
-		}
-		if err := mf.Close(); err != nil {
-			return err
-		}
+	if err := writeFile(tracePath, trace.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := writeFile(metricsPath, trace.WriteMetricsJSON); err != nil {
+		return err
+	}
+	if err := writeFile(eventsPath, trace.WriteEventsJSON); err != nil {
+		return err
 	}
 	return trace.WriteSummary(os.Stderr)
 }

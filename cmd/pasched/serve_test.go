@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/obs"
+	"resched/internal/obs/obshttp"
+	"resched/internal/solve"
+	"resched/internal/taskgraph"
+)
+
+// TestServeDebugDuringLiveSolve exercises the -serve-debug wiring
+// in-process: the debug surface is mounted on the solve's trace, solves run
+// against it, and /metrics and /debug/trace are fetched while the trace is
+// live (between and during solves), asserting the responses reflect the
+// solver's recorded work. This is the acceptance path for watching a long
+// run from outside the process.
+func TestServeDebugDuringLiveSolve(t *testing.T) {
+	f, err := os.Open("../../examples/graphs/tg60.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := obs.New()
+	srv, err := obshttp.Serve("127.0.0.1:0", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	solver, err := solve.Get("par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &solve.Request{Graph: g, Arch: arch.ZedBoard(), Options: solve.Options{
+		Seed: 1, MaxIterations: 25, Workers: 1, Trace: trace,
+	}}
+
+	// Poll the live surface from a second goroutine while the solve runs;
+	// every response observed mid-solve must be valid JSON (snapshots are
+	// consistent under concurrent recording).
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := http.Get(srv.URL() + "/metrics")
+			if err != nil {
+				return // server closed under us; the main checks decide
+			}
+			body, rerr := io.ReadAll(res.Body)
+			res.Body.Close()
+			if rerr != nil {
+				continue
+			}
+			var doc map[string]any
+			if jerr := json.Unmarshal(body, &doc); jerr != nil {
+				t.Errorf("mid-solve /metrics is not valid JSON: %v", jerr)
+				return
+			}
+		}
+	}()
+	if _, err := solver.Solve(req); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the solve, the surface must expose the solver's work.
+	res, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("/metrics: %v\n%s", err, body)
+	}
+	if metrics.Counters["solve.par.requests"] != 1 {
+		t.Errorf("solve.par.requests = %d, want 1", metrics.Counters["solve.par.requests"])
+	}
+	if _, ok := metrics.Histograms["solve.par.latency_us"]; !ok {
+		t.Errorf("no solve.par.latency_us histogram in /metrics: %v", metrics.Histograms)
+	}
+
+	res, err = http.Get(srv.URL() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("/debug/trace: %v", err)
+	}
+	var sawRun bool
+	for _, ev := range chrome.TraceEvents {
+		if ev.Name == "par.run" && ev.Ph == "X" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Error("/debug/trace lacks the par.run span")
+	}
+}

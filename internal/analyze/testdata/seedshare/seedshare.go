@@ -61,3 +61,60 @@ func suppressedDemo() {
 	}()
 	<-done
 }
+
+// --- obs v2 shapes: instrumented parallel workers -------------------------
+
+// Trace stands in for obs.Trace. Sharing one trace across workers is the
+// sanctioned v2 pattern — its instruments are commutative under a mutex —
+// unlike sharing a generator, whose draw order is the schedule.
+type Trace struct{}
+
+// Observe mirrors obs.Trace.Observe.
+func (t *Trace) Observe(name string, v float64) {}
+
+// Event mirrors obs.Trace.Event.
+func (t *Trace) Event(name string) {}
+
+// badInstrumentedWorkers shares a generator across instrumented workers:
+// capturing the trace is fine, capturing the rng is still a violation.
+func badInstrumentedWorkers(tr *Trace) {
+	rng := rand.New(rand.NewSource(9))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Observe("par.iteration_us", 1)
+			_ = rng.Intn(10) // want "captures rng"
+		}()
+	}
+	wg.Wait()
+}
+
+// goodInstrumentedWorkers is the PA-R v2 worker shape: a shared trace
+// recording histograms and events, a private generator per worker.
+func goodInstrumentedWorkers(tr *Trace) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			tr.Observe("par.iteration_us", float64(rng.Intn(10)))
+			tr.Event("par.improved")
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+// suppressedInstrumentedReplay shows the escape hatch in the instrumented
+// shape: a replay harness that provably draws once on one goroutine.
+func suppressedInstrumentedReplay(tr *Trace) {
+	rng := rand.New(rand.NewSource(11))
+	done := make(chan struct{})
+	go func() {
+		tr.Observe("replay.draw", float64(rng.Intn(3))) //reschedvet:ignore seedshare replay harness draws exactly once
+		close(done)
+	}()
+	<-done
+}

@@ -144,3 +144,51 @@ func suppressed(t *Trace, c bool) {
 	}
 	sp.End()
 }
+
+// --- obs v2 shapes: histograms and the flight recorder --------------------
+
+// Observe mirrors obs.Trace.Observe, the v2 histogram entry point.
+func (t *Trace) Observe(name string, v float64) {}
+
+// Event mirrors obs.Trace.Event, the v2 flight-recorder entry point.
+func (t *Trace) Event(name string) {}
+
+// badObserveIsNotEnd records a histogram sample and an event between Start
+// and the early return: Observe and Event are recording calls on the
+// *Trace*, not releases of the span, so the span still leaks.
+func badObserveIsNotEnd(t *Trace, c bool) {
+	sp := t.Start("solve.pa") // want "not End-ed on every path"
+	t.Observe("solve.pa.latency_us", 1)
+	if c {
+		t.Event("solve.budget_exhausted")
+		return
+	}
+	sp.End()
+}
+
+// goodDecorator mirrors the solve-registry auto-instrumentation
+// (internal/solve/instrument.go): a detached root span ended on both the
+// error and success exits, with histogram and flight-recorder recording
+// in between — silent for the analyzer.
+func goodDecorator(t *Trace, fail bool) {
+	sp := t.StartRoot("solve.par")
+	t.Observe("solve.par.latency_us", 42)
+	if fail {
+		t.Event("solve.budget_exhausted")
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// suppressedDetachedLifetime shows the v2 escape hatch on a detached root
+// span whose End a longer-lived owner performs (the obshttp serve/Close
+// lifecycle shape).
+func suppressedDetachedLifetime(t *Trace, c bool) {
+	//reschedvet:ignore spanleak ended by the owner's Close, not on this path
+	sp := t.StartRoot("obshttp.serve")
+	if c {
+		return
+	}
+	sp.End()
+}

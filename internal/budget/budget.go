@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"resched/internal/obs"
 )
 
 // Clock supplies the current time. Production budgets use time.Now; tests
@@ -120,13 +122,23 @@ type Options struct {
 	// are consulted on every Charge (no striding) so fake-clock tests see
 	// deadline trips at the exact node where the clock advanced.
 	Clock Clock
+	// Trace, when non-nil, receives one "budget.exhausted" flight-recorder
+	// event the first time the budget (or any WithTimeout child — the note
+	// is once per tree) fails a Charge or Check, tagged with the reason.
+	// Recording never alters what Charge/Check return.
+	Trace *obs.Trace
 }
 
 // shared is the state common to a budget and all WithTimeout children: node
-// accounting propagates across the whole tree.
+// accounting and the exhaustion note propagate across the whole tree.
 type shared struct {
 	nodes atomic.Int64
 	ticks atomic.Int64 // Charge calls since the last clock read
+	// trace and noted implement the once-per-tree exhaustion event. They
+	// live here (not on Budget) because WithTimeout copies the Budget
+	// struct: a per-copy flag would fire once per child.
+	trace *obs.Trace
+	noted atomic.Bool
 }
 
 // cancelNode is one link in the downward-only cancellation chain. Each
@@ -165,7 +177,7 @@ type Budget struct {
 // New builds a budget from opt.
 func New(opt Options) *Budget {
 	b := &Budget{
-		s:        &shared{},
+		s:        &shared{trace: opt.Trace},
 		cancel:   &cancelNode{},
 		clock:    opt.Clock,
 		maxNodes: opt.MaxNodes,
@@ -262,18 +274,18 @@ func (b *Budget) Charge(n int64) error {
 		return nil
 	}
 	if b.cancel.tripped() {
-		return ErrCancelled
+		return b.noteExhausted(ErrCancelled)
 	}
 	nodes := b.s.nodes.Add(n)
 	if b.maxNodes > 0 && nodes > b.maxNodes {
-		return ErrNodeCap
+		return b.noteExhausted(ErrNodeCap)
 	}
 	if !b.deadline.IsZero() {
 		if b.strided && b.s.ticks.Add(1)%clockStride != 0 {
 			return nil
 		}
 		if !b.clock().Before(b.deadline) {
-			return ErrDeadline
+			return b.noteExhausted(ErrDeadline)
 		}
 	}
 	return nil
@@ -287,13 +299,23 @@ func (b *Budget) Check() error {
 		return nil
 	}
 	if b.cancel.tripped() {
-		return ErrCancelled
+		return b.noteExhausted(ErrCancelled)
 	}
 	if b.maxNodes > 0 && b.s.nodes.Load() >= b.maxNodes {
-		return ErrNodeCap
+		return b.noteExhausted(ErrNodeCap)
 	}
 	if !b.deadline.IsZero() && !b.clock().Before(b.deadline) {
-		return ErrDeadline
+		return b.noteExhausted(ErrDeadline)
 	}
 	return nil
+}
+
+// noteExhausted records the first failure of the budget tree in the flight
+// recorder and passes the error through unchanged. Only the error paths pay
+// for it: a budget with headroom never touches the trace.
+func (b *Budget) noteExhausted(err *Error) error {
+	if b.s.trace != nil && b.s.noted.CompareAndSwap(false, true) {
+		b.s.trace.Event("budget.exhausted", obs.Str("reason", err.Reason.String()))
+	}
+	return err
 }

@@ -19,6 +19,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"resched/internal/obs"
 )
 
 // Clock is a hand-advanced time source for budget.Options.Clock and for
@@ -72,6 +74,7 @@ type Set struct {
 	latency      time.Duration
 	clock        *Clock
 	fired        map[string]int
+	trace        *obs.Trace
 }
 
 // New returns an empty fault set.
@@ -91,6 +94,16 @@ func (s *Set) ForceMILPLimit(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.milpLimit = n
+}
+
+// SetTrace routes every subsequent fault firing into tr's flight recorder
+// as a "fault.injected" event tagged with the fault name and its running
+// count, so a degraded run's event tail shows which rung failures were
+// injected rather than organic. A nil trace (the default) records nothing.
+func (s *Set) SetTrace(tr *obs.Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace = tr
 }
 
 // SetSolverLatency makes every floorplan and MILP solve advance clk by d,
@@ -154,6 +167,10 @@ func (s *Set) recordLocked(name string) {
 		s.fired = make(map[string]int)
 	}
 	s.fired[name]++
+	// The trace's mutex nests strictly inside s.mu here; obs never calls
+	// back into faultinject, so the order cannot invert.
+	s.trace.Event("fault.injected",
+		obs.Str("fault", name), obs.Int("fired", int64(s.fired[name])))
 }
 
 // Armed returns the sorted names of the currently armed faults, for obs

@@ -210,6 +210,10 @@ func run(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts
 		}
 		w.End(obs.Int("nodes", int64(stats.Nodes-nodesBefore)))
 		opts.Trace.Count("isk.nodes", int64(stats.Nodes-nodesBefore))
+		// The per-window node distribution is the tail-latency signal for
+		// IS-k: one hard window dominates the runtime long before the total
+		// node counter shows it.
+		opts.Trace.Observe("isk.window_nodes", float64(stats.Nodes-nodesBefore))
 	}
 	return st.emit(fmt.Sprintf("IS-%d", opts.K), opts.ModuleReuse), nil
 }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// defaultEventCapacity bounds the flight recorder: the ring keeps the most
+// recent events and counts the rest as dropped. 1024 events cover minutes
+// of rung transitions, budget trips and incumbent improvements at a few
+// bytes each, while a runaway event source cannot grow the trace without
+// bound.
+const defaultEventCapacity = 1024
+
+// EventInfo is one recorded flight-recorder event.
+type EventInfo struct {
+	// Time is the monotonic offset from the trace epoch at which the event
+	// was recorded.
+	Time time.Duration
+	// Seq is the 0-based global sequence number across the whole trace,
+	// including events already evicted from the ring.
+	Seq int64
+	// Name labels the event (e.g. "budget.exhausted", "robust.rung").
+	Name string
+	// Args holds the annotations in attachment order.
+	Args []Arg
+}
+
+// Event appends a structured event to the trace's bounded flight recorder:
+// a timestamped, annotated record of a discrete occurrence — a budget
+// trip, a degradation-ladder rung transition, an injected fault, an
+// incumbent improvement — kept in a fixed-size ring so a hung or slow run
+// can explain its recent history after the fact. When the ring is full the
+// oldest event is evicted (Snapshot reports how many). A nil trace ignores
+// the event at the cost of one pointer comparison.
+func (t *Trace) Event(name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := eventRecord{time: t.clock(), seq: t.eventSeq, name: name, args: args}
+	t.eventSeq++
+	if len(t.events) < defaultEventCapacity {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.eventHead] = ev
+	t.eventHead = (t.eventHead + 1) % len(t.events)
+}
+
+// eventRecord is the internal storage of one event.
+type eventRecord struct {
+	time time.Duration
+	seq  int64
+	name string
+	args []Arg
+}
+
+// eventsLocked renders the ring oldest-first. Caller holds t.mu.
+func (t *Trace) eventsLocked() []EventInfo {
+	out := make([]EventInfo, 0, len(t.events))
+	for i := 0; i < len(t.events); i++ {
+		rec := t.events[(t.eventHead+i)%len(t.events)]
+		out = append(out, EventInfo{
+			Time: rec.time,
+			Seq:  rec.seq,
+			Name: rec.name,
+			Args: append([]Arg(nil), rec.args...),
+		})
+	}
+	return out
+}
+
+// eventsDoc is the JSON document WriteEventsJSON emits.
+type eventsDoc struct {
+	// Seen counts every event recorded over the trace's lifetime; Dropped
+	// is how many of those the bounded ring has already evicted.
+	Seen    int64       `json:"seen"`
+	Dropped int64       `json:"dropped"`
+	Events  []eventJSON `json:"events"`
+}
+
+type eventJSON struct {
+	TUS  float64        `json:"t_us"`
+	Seq  int64          `json:"seq"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteEventsJSON exports the flight recorder's current content as JSON,
+// oldest event first, with timestamps in microseconds since the trace
+// epoch. A nil trace writes a valid empty document.
+func (t *Trace) WriteEventsJSON(w io.Writer) error {
+	snap := t.Snapshot()
+	doc := eventsDoc{
+		Seen:    snap.EventsSeen,
+		Dropped: snap.EventsSeen - int64(len(snap.Events)),
+		Events:  make([]eventJSON, 0, len(snap.Events)),
+	}
+	for _, ev := range snap.Events {
+		ej := eventJSON{TUS: micros(ev.Time), Seq: ev.Seq, Name: ev.Name}
+		if len(ev.Args) > 0 {
+			ej.Args = make(map[string]any, len(ev.Args))
+			for _, a := range ev.Args {
+				ej.Args[a.Key] = a.Val
+			}
+		}
+		doc.Events = append(doc.Events, ej)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestEventRecordingOrderAndArgs(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	tr.Event("budget.exhausted", Str("reason", "node-cap"))
+	tr.Event("robust.rung", Int("rung", 1), Str("name", "degraded"))
+	snap := tr.Snapshot()
+	if snap.EventsSeen != 2 || len(snap.Events) != 2 {
+		t.Fatalf("seen=%d len=%d, want 2/2", snap.EventsSeen, len(snap.Events))
+	}
+	for i, ev := range snap.Events {
+		if ev.Seq != int64(i) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, i)
+		}
+	}
+	if snap.Events[0].Name != "budget.exhausted" || snap.Events[1].Name != "robust.rung" {
+		t.Errorf("event order wrong: %+v", snap.Events)
+	}
+	if snap.Events[1].Time <= snap.Events[0].Time {
+		t.Errorf("event times not increasing: %v then %v", snap.Events[0].Time, snap.Events[1].Time)
+	}
+	if args := snap.Events[1].Args; len(args) != 2 || args[0].Val != int64(1) {
+		t.Errorf("robust.rung args = %+v", args)
+	}
+}
+
+func TestEventRingEvictsOldestFirst(t *testing.T) {
+	tr := fakeClock(time.Microsecond)
+	total := defaultEventCapacity + 50
+	for i := 0; i < total; i++ {
+		tr.Event(fmt.Sprintf("e%d", i))
+	}
+	snap := tr.Snapshot()
+	if snap.EventsSeen != int64(total) {
+		t.Errorf("seen = %d, want %d", snap.EventsSeen, total)
+	}
+	if len(snap.Events) != defaultEventCapacity {
+		t.Fatalf("ring holds %d, want capacity %d", len(snap.Events), defaultEventCapacity)
+	}
+	// The ring keeps the newest capacity events: the oldest surviving event
+	// is number total - capacity, and order is oldest first.
+	for i, ev := range snap.Events {
+		wantSeq := int64(total - defaultEventCapacity + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Name != fmt.Sprintf("e%d", wantSeq) {
+			t.Fatalf("event %d: name %q, want e%d", i, ev.Name, wantSeq)
+		}
+	}
+}
+
+func TestWriteEventsJSON(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	tr.Event("fault.injected", Str("fault", "region-loss"), Int("region", 2))
+	tr.Event("budget.exhausted", Str("reason", "deadline"))
+	var buf bytes.Buffer
+	if err := tr.WriteEventsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Seen    int64 `json:"seen"`
+		Dropped int64 `json:"dropped"`
+		Events  []struct {
+			TUS  float64        `json:"t_us"`
+			Seq  int64          `json:"seq"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Seen != 2 || doc.Dropped != 0 || len(doc.Events) != 2 {
+		t.Fatalf("doc totals = %d/%d/%d events, want 2/0/2", doc.Seen, doc.Dropped, len(doc.Events))
+	}
+	if doc.Events[0].Name != "fault.injected" || doc.Events[0].Args["fault"] != "region-loss" {
+		t.Errorf("first event = %+v", doc.Events[0])
+	}
+	if doc.Events[1].TUS <= doc.Events[0].TUS {
+		t.Errorf("timestamps not increasing: %v then %v", doc.Events[0].TUS, doc.Events[1].TUS)
+	}
+}
+
+func TestSummaryIncludesEventTail(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	for i := 0; i < 15; i++ {
+		tr.Event(fmt.Sprintf("ev%d", i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("events (last 10 of 15):")) {
+		t.Errorf("summary lacks the event tail header:\n%s", out)
+	}
+	// Newest last: ev14 present, ev4 (11th newest) cut.
+	if !bytes.Contains(buf.Bytes(), []byte("ev14")) {
+		t.Errorf("summary tail lacks the newest event:\n%s", out)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("ev4\n")) {
+		t.Errorf("summary tail includes an event beyond the last 10:\n%s", out)
+	}
+}

@@ -14,7 +14,8 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenTrace builds the fixed workload behind the golden-file test: a PA
-// run shape with two phases, a nested floorplan call, and counters.
+// run shape with two phases, a nested floorplan call, counters, histogram
+// observations, and flight-recorder events.
 func goldenTrace() *Trace {
 	tr := fakeClock(100 * time.Microsecond)
 	run := tr.Start("pa.run")
@@ -23,6 +24,7 @@ func goldenTrace() *Trace {
 	p1.End()
 	p8 := tr.Start("pa.phase8.floorplan")
 	fp := tr.Start("floorplan.solve", Str("method", "backtracking"), Int("regions", 3))
+	tr.Event("par.improved", Int("iteration", 4), Float("makespan", 1180))
 	fp.End(Str("outcome", "feasible"), Int("nodes", 17))
 	p8.End()
 	att.End(Str("outcome", "feasible"))
@@ -30,6 +32,11 @@ func goldenTrace() *Trace {
 	tr.Count("pa.retries", 0)
 	tr.Count("floorplan.calls", 1)
 	tr.SetGauge("par.capacity_factor", 1)
+	for _, nodes := range []float64{3, 17, 44, 17, 260} {
+		tr.Observe("isk.window_nodes", nodes)
+	}
+	tr.Observe("pa.attempts", 1)
+	tr.Event("budget.exhausted", Str("reason", "node-cap"))
 	return tr
 }
 

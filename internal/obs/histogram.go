@@ -1,0 +1,176 @@
+package obs
+
+import "sort"
+
+// Histograms use one fixed, logarithmic bucket ladder shared by every
+// metric: the classic 1-2-5 decade sequence (1, 2, 5, 10, 20, 50, ...)
+// spanning twelve decades. Fixed boundaries keep merged and double-run
+// histograms comparable bucket-for-bucket — two runs observing the same
+// values produce DeepEqual snapshots, which is what lets
+// TestTracingDeterminism extend to distributions — and the 1-2-5 ladder
+// bounds quantile interpolation error to the bucket ratio (at most 2.5×)
+// while needing only 37 buckets for anything from single nodes to hours of
+// microseconds.
+//
+// Values are assigned to buckets by binary search over the precomputed
+// boundaries, never by floating-point logarithms, so bucket placement is
+// bit-reproducible across platforms.
+var bucketBounds = func() []float64 {
+	var bounds []float64
+	decade := 1.0
+	for d := 0; d < 12; d++ {
+		bounds = append(bounds, decade, 2*decade, 5*decade)
+		decade *= 10
+	}
+	bounds = append(bounds, decade)
+	return bounds
+}()
+
+// histogram is the internal accumulator behind Trace.Observe: exact
+// count/sum/min/max plus the fixed-boundary bucket counts. Guarded by the
+// trace mutex.
+type histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+	// buckets[i] counts observations v with bucketBounds[i-1] <= v <
+	// bucketBounds[i] (bucket 0 is v < bucketBounds[0]); the final slot
+	// counts overflow beyond the last boundary.
+	buckets []int64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.buckets == nil {
+		h.buckets = make([]int64, len(bucketBounds)+1)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(bucketBounds, v)
+	// SearchFloat64s returns the first boundary >= v; a value sitting on a
+	// boundary belongs to the bucket above it (lower bound inclusive), so
+	// step past boundaries not strictly greater than v.
+	if i < len(bucketBounds) && bucketBounds[i] <= v {
+		i++
+	}
+	h.buckets[i]++
+}
+
+// Bucket is one populated histogram bucket in a snapshot: Count
+// observations fell in [previous boundary, Le), with Le = +Inf represented
+// by the Overflow flag on the last boundary.
+type Bucket struct {
+	// Le is the bucket's exclusive upper boundary. For the overflow bucket
+	// it is the largest finite boundary and Overflow is set.
+	Le float64 `json:"le"`
+	// Count is the number of observations in this bucket.
+	Count int64 `json:"count"`
+	// Overflow marks the bucket of values at or beyond the last boundary.
+	Overflow bool `json:"overflow,omitempty"`
+}
+
+// HistogramSnapshot is the exported view of one named distribution: exact
+// count/sum/min/max and the populated buckets of the fixed log ladder, in
+// ascending boundary order. Two runs observing the same values yield
+// DeepEqual snapshots.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// Buckets lists only the populated buckets (sparse), ascending.
+	Buckets []Bucket `json:"buckets"`
+}
+
+// snapshot renders the sparse exported form of the accumulator.
+func (h *histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		b := Bucket{Count: c}
+		if i >= len(bucketBounds) {
+			b.Le = bucketBounds[len(bucketBounds)-1]
+			b.Overflow = true
+		} else {
+			b.Le = bucketBounds[i]
+		}
+		out.Buckets = append(out.Buckets, b)
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the q-th observation, clamped to
+// the exact observed [Min, Max]. With no observations it returns 0. The
+// estimate is deterministic: it depends only on the bucket counts and the
+// fixed boundaries.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q*float64(s.Count)) + 1
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		if seen+b.Count < rank {
+			seen += b.Count
+			continue
+		}
+		lo, hi := 0.0, b.Le
+		if b.Overflow {
+			// The overflow bucket spans [last boundary, Max].
+			lo, hi = b.Le, s.Max
+		} else if i := sort.SearchFloat64s(bucketBounds, b.Le); i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		frac := float64(rank-seen) / float64(b.Count)
+		v := lo + (hi-lo)*frac
+		// Clamp to the exact extrema: interpolation cannot know the true
+		// values inside the bucket, but no estimate should leave [Min, Max].
+		if v < s.Min {
+			v = s.Min
+		}
+		if v > s.Max {
+			v = s.Max
+		}
+		return v
+	}
+	return s.Max
+}
+
+// Observe records one value of the named distribution. Typical streams are
+// per-window branch-and-bound node counts, per-run attempt counts and
+// request latencies; by convention names ending in "_us" hold wall-clock
+// microseconds, which Snapshot.Canonical reduces to counts when comparing
+// runs (the values are real time and legitimately differ between
+// repetitions). A nil trace ignores the observation at the cost of one
+// pointer comparison.
+func (t *Trace) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.histograms[name]
+	if h == nil {
+		h = &histogram{}
+		t.histograms[name] = h
+	}
+	h.observe(v)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundsAreSortedAndCover12Decades(t *testing.T) {
+	if !sort.Float64sAreSorted(bucketBounds) {
+		t.Fatalf("bucket boundaries not ascending: %v", bucketBounds)
+	}
+	if len(bucketBounds) != 37 {
+		t.Fatalf("got %d boundaries, want 37 (12 decades of 1-2-5 plus the cap)", len(bucketBounds))
+	}
+	if bucketBounds[0] != 1 {
+		t.Errorf("first boundary = %v, want 1", bucketBounds[0])
+	}
+	if bucketBounds[len(bucketBounds)-1] != 1e12 {
+		t.Errorf("last boundary = %v, want 1e12", bucketBounds[len(bucketBounds)-1])
+	}
+}
+
+func TestObserveExactAggregates(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	vals := []float64{3, 0.5, 17, 17, 260, 9999}
+	for _, v := range vals {
+		tr.Observe("nodes", v)
+	}
+	h, ok := tr.Snapshot().Histograms["nodes"]
+	if !ok {
+		t.Fatal("no histogram named nodes in snapshot")
+	}
+	if h.Count != int64(len(vals)) {
+		t.Errorf("count = %d, want %d", h.Count, len(vals))
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(h.Sum-sum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum, sum)
+	}
+	if h.Min != 0.5 || h.Max != 9999 {
+		t.Errorf("min/max = %v/%v, want 0.5/9999", h.Min, h.Max)
+	}
+	var bucketTotal int64
+	for _, b := range h.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != h.Count {
+		t.Errorf("bucket counts sum to %d, want %d", bucketTotal, h.Count)
+	}
+}
+
+func TestObserveBucketPlacement(t *testing.T) {
+	// A value on a boundary belongs to the bucket above it (lower bound
+	// inclusive): 20 must land in the (20, 50] slot, i.e. Le=50.
+	tr := fakeClock(time.Millisecond)
+	tr.Observe("v", 20)
+	h := tr.Snapshot().Histograms["v"]
+	if len(h.Buckets) != 1 {
+		t.Fatalf("got %d buckets, want 1: %+v", len(h.Buckets), h.Buckets)
+	}
+	if h.Buckets[0].Le != 50 {
+		t.Errorf("boundary value 20 landed in bucket le=%v, want 50", h.Buckets[0].Le)
+	}
+
+	// Values beyond the last boundary go to the overflow bucket.
+	tr.Observe("big", 5e12)
+	hb := tr.Snapshot().Histograms["big"]
+	if len(hb.Buckets) != 1 || !hb.Buckets[0].Overflow {
+		t.Errorf("5e12 not in overflow bucket: %+v", hb.Buckets)
+	}
+
+	// Values below the first boundary go to the underflow bucket (le=1).
+	tr.Observe("small", 0.25)
+	hs := tr.Snapshot().Histograms["small"]
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Le != 1 {
+		t.Errorf("0.25 not in the le=1 underflow bucket: %+v", hs.Buckets)
+	}
+}
+
+func TestQuantileInterpolationAndClamping(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	for i := 1; i <= 100; i++ {
+		tr.Observe("u", float64(i))
+	}
+	h := tr.Snapshot().Histograms["u"]
+	// The estimate can be off by at most the bucket width; with the 1-2-5
+	// ladder the p50 of uniform 1..100 (true value 50) must land in (20, 100].
+	if p50 := h.Quantile(0.50); p50 <= 20 || p50 > 100 {
+		t.Errorf("p50 = %v, want within (20, 100]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < h.Quantile(0.50) {
+		t.Errorf("p99 %v below p50 %v", p99, h.Quantile(0.50))
+	}
+	// Quantiles never escape the exact observed extrema.
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v, want exact min 1", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v, want exact max 100", q)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < h.Min || v > h.Max {
+			t.Errorf("Quantile(%v) = %v escapes [%v, %v]", q, v, h.Min, h.Max)
+		}
+	}
+
+	// Empty histogram: quantiles are 0 by definition.
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+
+	// Single observation: every quantile is that value.
+	tr.Observe("one", 7)
+	ho := tr.Snapshot().Histograms["one"]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := ho.Quantile(q); v != 7 {
+			t.Errorf("single-value Quantile(%v) = %v, want 7", q, v)
+		}
+	}
+}
+
+func TestHistogramSnapshotsDeepEqualAcrossRuns(t *testing.T) {
+	build := func() map[string]HistogramSnapshot {
+		tr := fakeClock(time.Millisecond)
+		for _, v := range []float64{3, 17, 17, 44, 260, 0.5, 9999} {
+			tr.Observe("nodes", v)
+		}
+		return tr.Snapshot().Histograms
+	}
+	if a, b := build(), build(); !reflect.DeepEqual(a, b) {
+		t.Errorf("identical observation streams yield different snapshots:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestCanonicalReducesWallClockHistograms(t *testing.T) {
+	tr := fakeClock(time.Millisecond)
+	tr.Observe("solve.pa.latency_us", 812.5)
+	tr.Observe("solve.pa.latency_us", 1710.0)
+	tr.Observe("pa.attempts", 2)
+	tr.Event("par.improved", Int("iteration", 3))
+	canon := tr.Snapshot().Canonical()
+	lat := canon.Histograms["solve.pa.latency_us"]
+	if lat.Count != 2 || lat.Sum != 0 || len(lat.Buckets) != 0 {
+		t.Errorf("_us histogram not reduced to count-only: %+v", lat)
+	}
+	if att := canon.Histograms["pa.attempts"]; att.Sum != 2 {
+		t.Errorf("value histogram was altered by Canonical: %+v", att)
+	}
+	if len(canon.Spans) != 0 {
+		t.Errorf("Canonical kept %d spans, want 0", len(canon.Spans))
+	}
+	if len(canon.Events) != 1 || canon.Events[0].Time != 0 {
+		t.Errorf("Canonical events not time-zeroed: %+v", canon.Events)
+	}
+	if canon.Taken != 0 {
+		t.Errorf("Canonical kept snapshot instant %v", canon.Taken)
+	}
+}

@@ -1,8 +1,11 @@
 // Package obs is a zero-dependency observability layer for the scheduling
 // pipeline: hierarchical spans on a monotonic clock, named counters and
-// gauges, and exporters for the Chrome trace-event format (loadable in
-// Perfetto or chrome://tracing) and a flat metrics JSON with a
-// human-readable summary table.
+// gauges, fixed-boundary log-bucket histograms with interpolated quantiles
+// (Observe), a bounded flight recorder of structured events (Event), and
+// exporters for the Chrome trace-event format (loadable in Perfetto or
+// chrome://tracing), a flat metrics JSON with a human-readable summary
+// table, and an events JSON. The sibling package obshttp mounts all of the
+// exporters on a live net/http surface.
 //
 // The package is built for optional instrumentation of deterministic code:
 // a nil *Trace is a valid receiver for every method and turns the whole
@@ -19,6 +22,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"time"
 )
@@ -43,20 +47,28 @@ func Float(key string, val float64) Arg { return Arg{Key: key, Val: val} }
 // Bool annotates a span with a boolean value.
 func Bool(key string, val bool) Arg { return Arg{Key: key, Val: val} }
 
-// Trace accumulates spans, counters and gauges for one run. The zero value
-// is not usable; construct with New. All methods are safe on a nil receiver
-// and safe for concurrent use.
+// Trace accumulates spans, counters, gauges, histograms and flight-recorder
+// events for one run. The zero value is not usable; construct with New (or
+// NewWithClock for deterministic exports). All methods are safe on a nil
+// receiver and safe for concurrent use.
 type Trace struct {
 	mu sync.Mutex
 	// clock returns the monotonic time since the trace epoch. time.Since
 	// on the epoch captured by New reads the monotonic clock, so spans are
 	// immune to wall-clock adjustments; tests substitute a fake clock for
 	// reproducible exports.
-	clock    func() time.Duration
-	spans    []spanRecord
-	open     int // index of the innermost open span, -1 at root
-	counters map[string]int64
-	gauges   map[string]float64
+	clock      func() time.Duration
+	spans      []spanRecord
+	open       int // index of the innermost open span, -1 at root
+	counters   map[string]int64
+	gauges     map[string]float64
+	histograms map[string]*histogram
+	// events is the flight-recorder ring (see events.go): append-grown to
+	// defaultEventCapacity, then overwritten oldest-first with eventHead
+	// pointing at the oldest record. eventSeq counts every event ever seen.
+	events    []eventRecord
+	eventHead int
+	eventSeq  int64
 }
 
 // spanRecord is the internal storage of one span, indexed by start order.
@@ -83,11 +95,20 @@ type Span struct {
 // New returns an empty trace whose clock starts now.
 func New() *Trace {
 	epoch := time.Now()
+	return NewWithClock(func() time.Duration { return time.Since(epoch) })
+}
+
+// NewWithClock returns an empty trace reading monotonic offsets from the
+// given clock instead of the real one. Injected clocks make every exporter
+// byte-reproducible — the obshttp golden tests and the flight-recorder
+// replay tooling depend on this — and must be monotone non-decreasing.
+func NewWithClock(clock func() time.Duration) *Trace {
 	return &Trace{
-		clock:    func() time.Duration { return time.Since(epoch) },
-		open:     -1,
-		counters: make(map[string]int64),
-		gauges:   make(map[string]float64),
+		clock:      clock,
+		open:       -1,
+		counters:   make(map[string]int64),
+		gauges:     make(map[string]float64),
+		histograms: make(map[string]*histogram),
 	}
 }
 
@@ -246,6 +267,13 @@ type Snapshot struct {
 	// Counters and Gauges are copies of the named metrics.
 	Counters map[string]int64
 	Gauges   map[string]float64
+	// Histograms holds the named distributions recorded through Observe.
+	Histograms map[string]HistogramSnapshot
+	// Events is the flight recorder's current content, oldest first;
+	// EventsSeen counts every event recorded over the trace's lifetime, so
+	// EventsSeen - len(Events) is the number already evicted from the ring.
+	Events     []EventInfo
+	EventsSeen int64
 	// Taken is the clock offset at which the snapshot was captured; spans
 	// still open are reported as ending here.
 	Taken time.Duration
@@ -255,16 +283,23 @@ type Snapshot struct {
 // snapshot.
 func (t *Trace) Snapshot() Snapshot {
 	if t == nil {
-		return Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}}
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.clock()
 	out := Snapshot{
-		Spans:    make([]SpanInfo, len(t.spans)),
-		Counters: make(map[string]int64, len(t.counters)),
-		Gauges:   make(map[string]float64, len(t.gauges)),
-		Taken:    now,
+		Spans:      make([]SpanInfo, len(t.spans)),
+		Counters:   make(map[string]int64, len(t.counters)),
+		Gauges:     make(map[string]float64, len(t.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(t.histograms)),
+		Events:     t.eventsLocked(),
+		EventsSeen: t.eventSeq,
+		Taken:      now,
 	}
 	for i, rec := range t.spans {
 		end := rec.end
@@ -285,6 +320,49 @@ func (t *Trace) Snapshot() Snapshot {
 	}
 	for k, v := range t.gauges {
 		out.Gauges[k] = v
+	}
+	for k, h := range t.histograms {
+		out.Histograms[k] = h.snapshot()
+	}
+	return out
+}
+
+// Canonical strips everything in the snapshot that legitimately varies
+// between two repetitions of the same deterministic workload, leaving
+// exactly the content the determinism gates may compare with
+// reflect.DeepEqual:
+//
+//   - spans are dropped entirely (their timestamps are wall-clock, and a
+//     parallel search records its detached iteration spans in goroutine
+//     arrival order);
+//   - the snapshot instant and every event timestamp are zeroed, keeping
+//     event order, names, sequence numbers and args;
+//   - histograms whose name ends in "_us" — the naming convention for
+//     wall-clock microsecond distributions — are reduced to their
+//     observation count, since the recorded durations are real time.
+//
+// Counters, gauges and value histograms (node counts, attempt counts,
+// reconfiguration counts) pass through untouched: for a fixed seed and
+// worker count they must be bit-identical across runs, and
+// TestTracingDeterminism at the repository root asserts exactly that.
+func (s Snapshot) Canonical() Snapshot {
+	out := Snapshot{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Events:     make([]EventInfo, len(s.Events)),
+		EventsSeen: s.EventsSeen,
+	}
+	for k, h := range s.Histograms {
+		if strings.HasSuffix(k, "_us") {
+			out.Histograms[k] = HistogramSnapshot{Count: h.Count}
+			continue
+		}
+		out.Histograms[k] = h
+	}
+	for i, ev := range s.Events {
+		ev.Time = 0
+		out.Events[i] = ev
 	}
 	return out
 }

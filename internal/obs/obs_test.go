@@ -109,8 +109,11 @@ func TestNilTraceIsNoop(t *testing.T) {
 	sp.Annotate(Int("n", 1))
 	tr.Count("c", 1)
 	tr.SetGauge("g", 1.5)
+	tr.Observe("h", 42)
+	tr.Event("e", Str("k", "v"))
 	snap := tr.Snapshot()
-	if len(snap.Spans) != 0 || len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+	if len(snap.Spans) != 0 || len(snap.Counters) != 0 || len(snap.Gauges) != 0 ||
+		len(snap.Histograms) != 0 || len(snap.Events) != 0 || snap.EventsSeen != 0 {
 		t.Errorf("nil trace snapshot not empty: %+v", snap)
 	}
 	var sb strings.Builder
@@ -124,6 +127,10 @@ func TestNilTraceIsNoop(t *testing.T) {
 	sb.Reset()
 	if err := tr.WriteSummary(&sb); err != nil {
 		t.Errorf("nil WriteSummary: %v", err)
+	}
+	sb.Reset()
+	if err := tr.WriteEventsJSON(&sb); err != nil {
+		t.Errorf("nil WriteEventsJSON: %v", err)
 	}
 }
 

@@ -1,0 +1,133 @@
+// Package obshttp mounts a live debug surface over an obs.Trace using only
+// the standard library:
+//
+//	GET /metrics        flat metrics JSON (counters, gauges, spans, histograms)
+//	GET /debug/trace    Chrome trace-event JSON of the current snapshot
+//	GET /debug/events   the flight recorder's current content
+//	GET /debug/summary  the human-readable summary table
+//	GET /debug/pprof/*  net/http/pprof (profile, heap, goroutine, ...)
+//
+// Every endpoint renders a fresh snapshot per request, so a long sweep can
+// be watched while it runs — curl the /metrics endpoint mid-solve and the
+// histograms reflect the work done so far. The handler is what the
+// scheduling daemon (ROADMAP item 1) mounts; today cmd/pasched and
+// cmd/experiments expose it behind -serve-debug.
+//
+// Handlers only read snapshots; they never write to the trace, so mounting
+// the surface cannot perturb a deterministic run.
+package obshttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"resched/internal/obs"
+)
+
+// Handler returns the debug mux for the trace. A nil trace is valid: every
+// endpoint serves the empty documents the exporters produce for it.
+func Handler(tr *obs.Trace) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(contentType string, write func(http.ResponseWriter) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", contentType)
+			if err := write(w); err != nil {
+				// Headers are gone; all we can do is log nothing and drop
+				// the connection mid-body. Export errors here mean the
+				// client went away.
+				return
+			}
+		}
+	}
+	mux.HandleFunc("/metrics", serve("application/json", func(w http.ResponseWriter) error {
+		return tr.WriteMetricsJSON(w)
+	}))
+	mux.HandleFunc("/debug/trace", serve("application/json", func(w http.ResponseWriter) error {
+		return tr.WriteChromeTrace(w)
+	}))
+	mux.HandleFunc("/debug/events", serve("application/json", func(w http.ResponseWriter) error {
+		return tr.WriteEventsJSON(w)
+	}))
+	mux.HandleFunc("/debug/summary", serve("text/plain; charset=utf-8", func(w http.ResponseWriter) error {
+		return tr.WriteSummary(w)
+	}))
+	// net/http/pprof registers on http.DefaultServeMux from its init; mount
+	// the same handlers explicitly so this mux works standalone and the
+	// surface carries no global state.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "resched debug surface\n\n"+
+			"/metrics        flat metrics JSON\n"+
+			"/debug/trace    Chrome trace-event JSON\n"+
+			"/debug/events   flight recorder JSON\n"+
+			"/debug/summary  summary table\n"+
+			"/debug/pprof/   runtime profiles\n")
+	})
+	return mux
+}
+
+// Server is a running debug surface with a joinable lifecycle: Close shuts
+// the listener down and waits for the serve goroutine to exit, so callers
+// (and the goroutine-leak gates) see a clean join.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+	done chan struct{}
+	err  error
+}
+
+// Serve binds addr (":0" picks a free port) and serves the trace's debug
+// surface until Close.
+func Serve(addr string, tr *obs.Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: %w", err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(tr)},
+		addr: ln.Addr(),
+		done: make(chan struct{}),
+	}
+	// The serve goroutine outlives this function by design — the surface
+	// runs until Close, which joins it via the done channel.
+	//reschedvet:ignore goleak joined by (*Server).Close, not by Serve's return
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr.String() }
+
+// URL returns the http base URL of the surface.
+func (s *Server) URL() string { return "http://" + s.addr.String() }
+
+// Close stops the server and joins the serve goroutine. Safe to call once;
+// it returns any error the listener died with.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	if err != nil {
+		return err
+	}
+	return s.err
+}

@@ -1,0 +1,178 @@
+package obshttp
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"resched/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// cannedTrace is the fixed workload behind the endpoint goldens: an
+// injected clock (obs.NewWithClock) advancing 100µs per reading makes every
+// span timestamp, and therefore every exported byte, reproducible.
+func cannedTrace() *obs.Trace {
+	var now time.Duration
+	tr := obs.NewWithClock(func() time.Duration {
+		now += 100 * time.Microsecond
+		return now
+	})
+	run := tr.Start("pa.run")
+	att := tr.Start("pa.attempt", obs.Int("attempt", 0))
+	fp := tr.Start("pa.phase8.floorplan")
+	fp.End(obs.Str("outcome", "feasible"))
+	att.End(obs.Str("outcome", "feasible"))
+	run.End()
+	tr.Count("pa.retries", 1)
+	tr.SetGauge("par.capacity_factor", 0.92)
+	for _, v := range []float64{2, 4, 4, 9, 31} {
+		tr.Observe("isk.window_nodes", v)
+	}
+	tr.Observe("pa.attempts", 2)
+	tr.Event("robust.rung_failed", obs.Str("rung", "full"), obs.Str("reason", "floorplan infeasible"))
+	tr.Event("robust.rung_selected", obs.Str("rung", "retried"), obs.Int("failures_above", 1))
+	return tr
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, body
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -update ./internal/obs/obshttp): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestEndpointGoldens(t *testing.T) {
+	h := Handler(cannedTrace())
+	for _, tc := range []struct {
+		path, golden, contentType string
+	}{
+		{"/metrics", "metrics.golden.json", "application/json"},
+		{"/debug/trace", "trace.golden.json", "application/json"},
+		{"/debug/events", "events.golden.json", "application/json"},
+		{"/debug/summary", "summary.golden.txt", "text/plain; charset=utf-8"},
+	} {
+		res, body := get(t, h, tc.path)
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", tc.path, res.StatusCode)
+			continue
+		}
+		if ct := res.Header.Get("Content-Type"); ct != tc.contentType {
+			t.Errorf("%s: Content-Type %q, want %q", tc.path, ct, tc.contentType)
+		}
+		checkGolden(t, tc.golden, body)
+	}
+}
+
+func TestEndpointsServeFreshSnapshots(t *testing.T) {
+	// The surface is live: work recorded between two requests must show up
+	// in the second response.
+	tr := cannedTrace()
+	h := Handler(tr)
+	_, before := get(t, h, "/metrics")
+	tr.Count("pa.retries", 41)
+	_, after := get(t, h, "/metrics")
+	if bytes.Equal(before, after) {
+		t.Error("second /metrics response identical to the first despite new work")
+	}
+	if !bytes.Contains(after, []byte(`"pa.retries": 42`)) {
+		t.Errorf("updated counter missing from /metrics:\n%s", after)
+	}
+}
+
+func TestIndexAndErrors(t *testing.T) {
+	h := Handler(cannedTrace())
+	res, body := get(t, h, "/")
+	if res.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("/debug/trace")) {
+		t.Errorf("index: status %d body %q", res.StatusCode, body)
+	}
+	if res, _ := get(t, h, "/nope"); res.StatusCode != http.StatusNotFound {
+		t.Errorf("/nope: status %d, want 404", res.StatusCode)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", strings.NewReader("{}")))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: status %d, want 405", rec.Code)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	h := Handler(nil)
+	res, body := get(t, h, "/debug/pprof/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", res.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index lacks profile listing:\n%s", body)
+	}
+}
+
+func TestNilTraceEndpoints(t *testing.T) {
+	h := Handler(nil)
+	for _, path := range []string{"/metrics", "/debug/trace", "/debug/events", "/debug/summary"} {
+		res, _ := get(t, h, path)
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("%s on nil trace: status %d", path, res.StatusCode)
+		}
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	tr := cannedTrace()
+	s, err := Serve("127.0.0.1:0", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("live /metrics: status %d err %v", res.StatusCode, err)
+	}
+	if !bytes.Contains(body, []byte("isk.window_nodes")) {
+		t.Errorf("live /metrics lacks histogram:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get(s.URL() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

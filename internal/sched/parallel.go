@@ -139,6 +139,26 @@ func rscheduleParallel(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fa
 		return stats.History[i].Elapsed < stats.History[j].Elapsed
 	})
 	stats.Elapsed = time.Since(start)
+	// Incumbent-improvement events are deferred to the merge and emitted in
+	// global-iteration order (each global iteration belongs to exactly one
+	// worker, so the key is unique): emitting them inline from the workers
+	// would record them in goroutine arrival order, and the wall-clock
+	// Elapsed ordering above legitimately varies between repetitions. This
+	// keeps the flight recorder deterministic for a fixed (Seed, Workers,
+	// MaxIterations).
+	if opts.Trace.Enabled() {
+		improved := append([]ImprovementPoint(nil), stats.History...)
+		// Iteration is unique across the merged histories (one owner per
+		// global iteration), so stability is moot — but SliceStable keeps
+		// the sortstable gate satisfied without a second key.
+		sort.SliceStable(improved, func(i, j int) bool {
+			return improved[i].Iteration < improved[j].Iteration
+		})
+		for _, p := range improved {
+			opts.Trace.Event("par.improved",
+				obs.Int("iteration", int64(p.Iteration)), obs.Int("makespan", p.Makespan))
+		}
+	}
 	opts.Trace.Count("par.iterations", int64(stats.Iterations))
 	opts.Trace.Count("par.floorplan_calls", int64(stats.FloorplanCalls))
 	opts.Trace.SetGauge("par.capacity_factor", stats.CapacityFactor)
@@ -198,7 +218,9 @@ func runParWorker(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fabric,
 			obs.Int("iteration", int64(giter)), obs.Int("worker", int64(w)))
 		innerBegin := time.Now()
 		sch, regionRes, err := runPipeline(g, a, maxRes, runOpts)
-		res.stats.SchedulingTime += time.Since(innerBegin)
+		innerElapsed := time.Since(innerBegin)
+		res.stats.SchedulingTime += innerElapsed
+		opts.Trace.Observe("par.iteration_us", float64(innerElapsed.Nanoseconds())/1e3)
 		if err != nil {
 			if errors.Is(err, budget.ErrExhausted) {
 				it.End(obs.Str("outcome", "budget"))

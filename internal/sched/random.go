@@ -186,7 +186,9 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		// Run at least one iteration even with a tiny budget.
 		innerBegin := time.Now()
 		sch, regionRes, err := runPipeline(g, a, maxRes, runOpts)
-		stats.SchedulingTime += time.Since(innerBegin)
+		innerElapsed := time.Since(innerBegin)
+		stats.SchedulingTime += innerElapsed
+		opts.Trace.Observe("par.iteration_us", float64(innerElapsed.Nanoseconds())/1e3)
 		if err != nil {
 			if errors.Is(err, budget.ErrExhausted) {
 				// The budget ran dry mid-pipeline: stop searching and fall
@@ -236,6 +238,11 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		sch.Algorithm = "PA-R"
 		best = sch
 		opts.Trace.Count("par.improvements", 1)
+		// A sequential search may record the incumbent improvement inline:
+		// iteration order is the event order, so the flight recorder stays
+		// deterministic (the parallel search defers this to the merge).
+		opts.Trace.Event("par.improved",
+			obs.Int("iteration", int64(stats.Iterations)), obs.Int("makespan", sch.Makespan))
 		stats.History = append(stats.History, ImprovementPoint{
 			Elapsed:   time.Since(start),
 			Iteration: stats.Iterations,

@@ -140,10 +140,16 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 	fail := func(rung Rung, err error) {
 		res.Reasons = append(res.Reasons, fmt.Errorf("%v rung: %w", rung, err))
 		opts.Trace.Count("robust.rung_failures", 1)
+		// Rung transitions go to the flight recorder: a degraded service
+		// explains which rungs it fell through and why.
+		opts.Trace.Event("robust.rung_failed",
+			obs.Str("rung", rung.String()), obs.Str("reason", err.Error()))
 	}
 	done := func(rung Rung) (*Result, error) {
 		res.Rung = rung
 		run.Annotate(obs.Str("rung", rung.String()))
+		opts.Trace.Event("robust.rung_selected",
+			obs.Str("rung", rung.String()), obs.Int("failures_above", int64(len(res.Reasons))))
 		return res, nil
 	}
 

@@ -124,6 +124,14 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	if opts.scratch == nil {
 		opts.scratch = &state{}
 	}
+	// observeRun records the run's distributions on success: how many
+	// shrink-retry attempts the instance needed and how many
+	// reconfigurations the accepted schedule carries. Values, not times —
+	// they must be bit-identical across repeated runs.
+	observeRun := func(sch *schedule.Schedule) {
+		opts.Trace.Observe("pa.attempts", float64(stats.Attempts))
+		opts.Trace.Observe("pa.reconfigurations", float64(len(sch.Reconfs)))
+	}
 	maxRes := a.MaxRes
 	for attempt := 0; ; attempt++ {
 		if err := opts.Budget.Check(); err != nil {
@@ -144,6 +152,7 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 		}
 		if opts.SkipFloorplan {
 			att.End(obs.Str("outcome", "unfloorplanned"))
+			observeRun(sch)
 			return sch, stats, nil
 		}
 		fabric, err := a.RequireFabric()
@@ -163,6 +172,7 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 		if res.Feasible {
 			stats.Placements = res.Placements
 			att.End(obs.Str("outcome", "feasible"))
+			observeRun(sch)
 			return sch, stats, nil
 		}
 		if attempt >= opts.MaxRetries {

@@ -1,0 +1,91 @@
+package solve
+
+import (
+	"errors"
+	"time"
+
+	"resched/internal/budget"
+	"resched/internal/obs"
+)
+
+// instrumented decorates a registered solver with the uniform observability
+// every frontend gets for free: a detached root span and a request-latency
+// histogram per solve, request/error counters, the ladder-rung counter for
+// the robust solver, and a budget-exhaustion flight-recorder event. The
+// decorator is applied once, at Register time, so per-solver wiring cannot
+// drift — any solver reachable through Get/List is instrumented.
+//
+// All recording goes through the request's Trace: with a nil Trace the
+// decorator is a single branch and the wrapped solver runs untouched, and
+// because package obs never feeds back into scheduling, instrumented and
+// uninstrumented runs produce identical schedules (TestTracingDeterminism).
+type instrumented struct {
+	inner Solver
+}
+
+// sizedInstrumented additionally forwards the optional MaxTasks ceiling
+// that generic registry drivers type-assert for (the exhaustive reference
+// declares one); wrapping must not hide it.
+type sizedInstrumented struct {
+	instrumented
+	sized interface{ MaxTasks() int }
+}
+
+// MaxTasks forwards the wrapped solver's instance-size ceiling.
+func (s sizedInstrumented) MaxTasks() int { return s.sized.MaxTasks() }
+
+// instrument wraps a solver for registration, preserving the MaxTasks
+// type-assertion surface when the solver has one.
+func instrument(s Solver) Solver {
+	w := instrumented{inner: s}
+	if sized, ok := s.(interface{ MaxTasks() int }); ok {
+		return sizedInstrumented{instrumented: w, sized: sized}
+	}
+	return w
+}
+
+// Name forwards the registry name of the wrapped solver.
+func (w instrumented) Name() string { return w.inner.Name() }
+
+// Solve runs the wrapped solver and records the uniform metrics. The span
+// is a detached root (StartRoot) so concurrent Solve calls sharing one
+// trace — the experiments harness's instance pool — cannot corrupt the
+// sequential nesting stack of the solver's own spans.
+func (w instrumented) Solve(req *Request) (*Result, error) {
+	tr := req.Trace
+	if tr == nil {
+		return w.inner.Solve(req)
+	}
+	name := w.inner.Name()
+	prefix := "solve." + name
+	sp := tr.StartRoot(prefix)
+	begin := time.Now()
+	res, err := w.inner.Solve(req)
+	elapsed := time.Since(begin)
+	tr.Observe(prefix+".latency_us", float64(elapsed.Nanoseconds())/1e3)
+	tr.Count(prefix+".requests", 1)
+	if err != nil {
+		tr.Count(prefix+".errors", 1)
+		if errors.Is(err, budget.ErrExhausted) {
+			tr.Event("solve.budget_exhausted",
+				obs.Str("solver", name), obs.Str("reason", budgetReason(err)))
+		}
+		sp.End(obs.Str("outcome", "error"))
+		return res, err
+	}
+	if res.Ladder != nil {
+		tr.Count(prefix+".rung."+res.Ladder.Rung.String(), 1)
+	}
+	sp.End(obs.Str("outcome", "ok"))
+	return res, err
+}
+
+// budgetReason extracts the specific exhaustion reason from a budget error
+// chain ("cancelled", "deadline passed", "node cap reached").
+func budgetReason(err error) string {
+	var be *budget.Error
+	if errors.As(err, &be) {
+		return be.Reason.String()
+	}
+	return "exhausted"
+}

@@ -1,0 +1,154 @@
+package solve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/budget"
+	"resched/internal/obs"
+)
+
+// TestRegistryAutoInstrumentation asserts the decorator applied at Register
+// time: solving through the registry with a trace records the uniform
+// latency histogram, request counter and per-rung counter without any
+// per-solver wiring, and records nothing with a nil trace.
+func TestRegistryAutoInstrumentation(t *testing.T) {
+	a := arch.ZedBoard()
+	g := genGraph(t, benchgen.Config{Tasks: 20, Seed: 2016})
+	for _, name := range []string{"pa", "par", "is1", "robust"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.New()
+		req := &Request{Graph: g, Arch: a, Options: Options{
+			Seed: 7, MaxIterations: 5, Workers: 1, Trace: tr,
+		}}
+		res, err := s.Solve(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		snap := tr.Snapshot()
+		lat, ok := snap.Histograms["solve."+name+".latency_us"]
+		if !ok || lat.Count != 1 {
+			t.Errorf("%s: latency histogram missing or wrong count: %+v", name, snap.Histograms)
+		}
+		if snap.Counters["solve."+name+".requests"] != 1 {
+			t.Errorf("%s: requests counter = %d, want 1", name, snap.Counters["solve."+name+".requests"])
+		}
+		if c := snap.Counters["solve."+name+".errors"]; c != 0 {
+			t.Errorf("%s: errors counter = %d, want 0", name, c)
+		}
+		if name == "robust" {
+			rung := "solve.robust.rung." + res.Ladder.Rung.String()
+			if snap.Counters[rung] != 1 {
+				t.Errorf("robust: rung counter %q = %d, want 1 (counters: %v)",
+					rung, snap.Counters[rung], snap.Counters)
+			}
+		}
+		var found bool
+		for _, sp := range snap.Spans {
+			if sp.Name == "solve."+name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no solve.%s span recorded", name, name)
+		}
+	}
+}
+
+// TestInstrumentationPreservesMaxTasks pins the type-assertion surface the
+// generic registry drivers rely on: wrapping must not hide the exhaustive
+// reference's instance-size ceiling.
+func TestInstrumentationPreservesMaxTasks(t *testing.T) {
+	s, err := Get("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, ok := s.(interface{ MaxTasks() int })
+	if !ok {
+		t.Fatal("registry exact solver no longer exposes MaxTasks()")
+	}
+	if sized.MaxTasks() <= 0 {
+		t.Errorf("MaxTasks() = %d, want > 0", sized.MaxTasks())
+	}
+	for _, name := range []string{"pa", "par", "robust"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.(interface{ MaxTasks() int }); ok {
+			t.Errorf("%s: wrapper invented a MaxTasks method the solver lacks", name)
+		}
+	}
+}
+
+// TestBudgetExhaustionEvent asserts the flight recorder sees every budget
+// trip crossing the registry boundary, with the specific reason attached.
+func TestBudgetExhaustionEvent(t *testing.T) {
+	a := arch.ZedBoard()
+	g := genGraph(t, benchgen.Config{Tasks: 40, Seed: 2016})
+	s, err := Get("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	b := budget.New(budget.Options{MaxNodes: 1})
+	_, err = s.Solve(&Request{Graph: g, Arch: a, Options: Options{Budget: b, Trace: tr}})
+	if !errors.Is(err, budget.ErrExhausted) {
+		t.Fatalf("expected a budget-exhausted error, got %v", err)
+	}
+	snap := tr.Snapshot()
+	if snap.Counters["solve.pa.errors"] != 1 {
+		t.Errorf("errors counter = %d, want 1", snap.Counters["solve.pa.errors"])
+	}
+	var ev *obs.EventInfo
+	for i := range snap.Events {
+		if snap.Events[i].Name == "solve.budget_exhausted" {
+			ev = &snap.Events[i]
+		}
+	}
+	if ev == nil {
+		t.Fatalf("no solve.budget_exhausted event in %+v", snap.Events)
+	}
+	args := map[string]any{}
+	for _, arg := range ev.Args {
+		args[arg.Key] = arg.Val
+	}
+	if args["solver"] != "pa" {
+		t.Errorf("event solver arg = %v, want pa", args["solver"])
+	}
+	if args["reason"] != budget.ErrNodeCap.Reason.String() {
+		t.Errorf("event reason arg = %v, want %q", args["reason"], budget.ErrNodeCap.Reason.String())
+	}
+}
+
+// TestNilTracePassthrough asserts the decorator's fast path: with no trace
+// the wrapped solver's result is returned untouched and the solve is
+// byte-identical to an instrumented one (the determinism contract).
+func TestNilTracePassthrough(t *testing.T) {
+	a := arch.ZedBoard()
+	g := genGraph(t, benchgen.Config{Tasks: 20, Seed: 2016})
+	s, err := Get("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Solve(&Request{Graph: g, Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := s.Solve(&Request{Graph: g, Arch: a, Options: Options{Trace: obs.New()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Schedule, traced.Schedule) {
+		t.Error("instrumented and uninstrumented solves disagree on the schedule")
+	}
+	if plain.Makespan != traced.Makespan {
+		t.Errorf("makespan %d with nil trace, %d with trace", plain.Makespan, traced.Makespan)
+	}
+}

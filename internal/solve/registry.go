@@ -15,9 +15,13 @@ var (
 	registry   = map[string]Solver{}
 )
 
-// Register adds a solver under its Name. It panics on an empty name or a
-// duplicate registration: both are programmer errors at init time, and a
-// silently replaced solver would make dispatch ambiguous.
+// Register adds a solver under its Name, decorated with the uniform
+// observability wrapper (see instrument.go): every solver reachable
+// through Get or List records request latency, result/error counters and
+// budget-exhaustion events on the request's Trace without per-solver
+// wiring. Register panics on an empty name or a duplicate registration:
+// both are programmer errors at init time, and a silently replaced solver
+// would make dispatch ambiguous.
 func Register(s Solver) {
 	name := s.Name()
 	if name == "" {
@@ -28,7 +32,7 @@ func Register(s Solver) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("solve: Register called twice for solver %q", name))
 	}
-	registry[name] = s
+	registry[name] = instrument(s)
 }
 
 // Get resolves a solver by name. The error enumerates the registered

@@ -10,6 +10,7 @@ import (
 	"resched/internal/obs"
 	"resched/internal/sched"
 	"resched/internal/schedule"
+	"resched/internal/solve"
 )
 
 // TestTracingDeterminism pins the central contract of the observability
@@ -137,5 +138,102 @@ func TestTracingDeterminism(t *testing.T) {
 	if windows == 0 || int64(windows) != isnap.Counters["isk.windows"] {
 		t.Errorf("IS-1 trace has %d window spans but counter says %d",
 			windows, isnap.Counters["isk.windows"])
+	}
+
+	// obs v2: the traces must also carry the value distributions the layer
+	// promises — PA's attempt/reconfiguration histograms, PA-R's
+	// per-iteration latency stream, IS-1's per-window node distribution.
+	for name, want := range map[string]int64{"pa.attempts": 1, "pa.reconfigurations": 1} {
+		if h := snap.Histograms[name]; h.Count != want {
+			t.Errorf("PA trace histogram %s count = %d, want %d", name, h.Count, want)
+		}
+	}
+	if h := rsnap.Histograms["par.iteration_us"]; h.Count != 40 {
+		t.Errorf("PA-R trace par.iteration_us count = %d, want 40", h.Count)
+	}
+	if len(rsnap.Events) == 0 || rsnap.Events[0].Name != "par.improved" {
+		t.Errorf("PA-R flight recorder empty or wrong: %+v", rsnap.Events)
+	}
+	if h := isnap.Histograms["isk.window_nodes"]; h.Count != int64(windows) {
+		t.Errorf("IS-1 trace isk.window_nodes count = %d, want %d (one per window)", h.Count, windows)
+	}
+}
+
+// TestTracingDeterminismViaRegistry repeats the determinism contract
+// through the solve registry, which now auto-instruments every solver: the
+// decorator's histograms, counters and spans must not perturb schedules
+// either. Covers PA, PA-R and IS-1 — the solvers of the original contract.
+func TestTracingDeterminismViaRegistry(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
+	a := arch.ZedBoard()
+	for _, name := range []string{"pa", "par", "is1"} {
+		s, err := solve.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := solve.Options{Seed: 7, MaxIterations: 40, Workers: 1, ModuleReuse: name == "is1"}
+		plain, err := s.Solve(&solve.Request{Graph: g, Arch: a, Options: opts})
+		if err != nil {
+			t.Fatalf("%s untraced: %v", name, err)
+		}
+		tr := obs.New()
+		opts.Trace = tr
+		traced, err := s.Solve(&solve.Request{Graph: g, Arch: a, Options: opts})
+		if err != nil {
+			t.Fatalf("%s traced: %v", name, err)
+		}
+		if !reflect.DeepEqual(plain.Schedule, traced.Schedule) {
+			t.Errorf("%s: registry auto-instrumentation changed the schedule (makespan %d vs %d)",
+				name, plain.Schedule.Makespan, traced.Schedule.Makespan)
+		}
+		snap := tr.Snapshot()
+		if h := snap.Histograms["solve."+name+".latency_us"]; h.Count != 1 {
+			t.Errorf("%s: registry latency histogram count = %d, want 1", name, h.Count)
+		}
+	}
+}
+
+// TestObsSnapshotDeterminism pins the snapshot side of the contract: two
+// repetitions of the same seeded workload must record identical canonical
+// snapshots (histograms, events, counters, gauges — reflect.DeepEqual) at
+// any worker count. Canonical strips exactly what legitimately varies
+// (span/event wall-clock times, the values inside "_us" histograms); every
+// remaining bit is covered by the comparison.
+func TestObsSnapshotDeterminism(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 50, Seed: 424242})
+	a := arch.ZedBoard()
+	s, err := solve.Get("par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		runOnce := func() obs.Snapshot {
+			tr := obs.New()
+			if _, err := s.Solve(&solve.Request{Graph: g, Arch: a, Options: solve.Options{
+				Seed: 7, MaxIterations: 40, Workers: workers, Trace: tr,
+			}}); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return tr.Snapshot().Canonical()
+		}
+		first, second := runOnce(), runOnce()
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("workers=%d: canonical snapshots differ between identical runs:\n%+v\nvs\n%+v",
+				workers, first, second)
+		}
+		if first.Histograms["par.iteration_us"].Count != 40 {
+			t.Errorf("workers=%d: par.iteration_us count = %d, want 40",
+				workers, first.Histograms["par.iteration_us"].Count)
+		}
+		var improved int64
+		for _, ev := range first.Events {
+			if ev.Name == "par.improved" {
+				improved++
+			}
+		}
+		if improved == 0 || improved != first.Counters["par.improvements"] {
+			t.Errorf("workers=%d: %d par.improved events, counter says %d",
+				workers, improved, first.Counters["par.improvements"])
+		}
 	}
 }
