@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz obs-smoke
+.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz obs-smoke serve-smoke serve-bench
 
 verify: fmt-check vet build race reschedvet solvecheck
 	@echo "verify: all gates passed"
@@ -81,3 +81,19 @@ obs-smoke:
 		-events $(OBS_SMOKE_DIR)/events.json > $(OBS_SMOKE_DIR)/schedule.txt
 	$(GO) run ./cmd/obscheck $(OBS_SMOKE_DIR)/trace.json $(OBS_SMOKE_DIR)/metrics.json $(OBS_SMOKE_DIR)/events.json
 	@echo "obs-smoke: artefacts in $(OBS_SMOKE_DIR)/"
+
+# serve-smoke exercises the serving tier end-to-end: paschedd with a
+# deterministic fault profile, the seeded load generator against it, a
+# SIGTERM graceful drain, and obscheck over the flushed artefacts (see
+# scripts/serve_smoke.sh). Artefacts land in SERVE_SMOKE_DIR (default
+# serve-smoke/, gitignored) so CI can upload them.
+SERVE_SMOKE_DIR ?= serve-smoke
+serve-smoke:
+	SERVE_SMOKE_DIR=$(SERVE_SMOKE_DIR) GO=$(GO) sh scripts/serve_smoke.sh
+
+# serve-bench refreshes the committed serving-throughput baseline: the same
+# smoke pipeline but with the full request count, writing BENCH_serve.json
+# at the repo root for cross-PR diffing.
+serve-bench:
+	SERVE_SMOKE_DIR=$(SERVE_SMOKE_DIR) GO=$(GO) LOAD_N=120 LOAD_C=6 \
+		BENCH_OUT=BENCH_serve.json sh scripts/serve_smoke.sh

@@ -1,0 +1,159 @@
+// Command paschedd is the scheduling daemon: internal/serve behind a plain
+// net/http listener, with graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	paschedd [-addr 127.0.0.1:8080] [-addr-file path]
+//	         [-arch zedboard|microzed|zc706] [-workers 2] [-queue 16]
+//	         [-max-budget 30s] [-drain-budget 10s]
+//	         [-trace trace.json] [-metrics metrics.json] [-events events.json]
+//	         [-fault-queue-full N] [-fault-floorplan-infeasible N]
+//	         [-fault-milp-limit N]
+//
+// Endpoints: POST /solve, GET /healthz, GET /metrics, GET /debug/* (see
+// internal/serve). -addr-file writes the actually-bound address (useful
+// with -addr 127.0.0.1:0) so scripts can find an ephemeral port. The
+// -fault-* flags arm the deterministic chaos hooks — forced queue-full
+// admissions and solver-rung failures — so a load test can exercise the
+// 429/degradation paths on a healthy machine.
+//
+// On SIGTERM/SIGINT the daemon stops accepting (late requests get 503),
+// finishes in-flight work under -drain-budget, cancels stragglers through
+// the root budget, flushes the observability artefacts and exits 0. A
+// second signal forces immediate exit 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"resched/internal/faultinject"
+	"resched/internal/obs"
+	"resched/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file")
+	archName := flag.String("arch", "zedboard", "default board preset for requests that name none")
+	workers := flag.Int("workers", 2, "solver worker pool size")
+	queue := flag.Int("queue", 16, "admission queue depth")
+	maxBudget := flag.Duration("max-budget", 30*time.Second, "per-request budget clamp")
+	drainBudget := flag.Duration("drain-budget", 10*time.Second, "graceful-drain allowance")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here on drain")
+	metricsPath := flag.String("metrics", "", "write metrics JSON here on drain")
+	eventsPath := flag.String("events", "", "write flight-recorder JSON here on drain")
+	faultQF := flag.Int("fault-queue-full", 0, "force the next N admissions to shed with 429 (-1 = all)")
+	faultFP := flag.Int("fault-floorplan-infeasible", 0, "force the next N floorplan solves infeasible (-1 = all)")
+	faultML := flag.Int("fault-milp-limit", 0, "force the next N MILP solves to stop at their limit (-1 = all)")
+	flag.Parse()
+
+	trace := obs.New()
+	var faults *faultinject.Set
+	if *faultQF != 0 || *faultFP != 0 || *faultML != 0 {
+		faults = faultinject.New()
+		faults.SetTrace(trace)
+		if *faultQF != 0 {
+			faults.ForceQueueFull(*faultQF)
+		}
+		if *faultFP != 0 {
+			faults.ForceFloorplanInfeasible(*faultFP)
+		}
+		if *faultML != 0 {
+			faults.ForceMILPLimit(*faultML)
+		}
+		fmt.Fprintf(os.Stderr, "paschedd: faults armed: %v\n", faults.Armed())
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxBudget:   *maxBudget,
+		DrainBudget: *drainBudget,
+		DefaultArch: *archName,
+		Faults:      faults,
+		Trace:       trace,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			_ = ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "paschedd: listening on %s (arch %s, %d workers, queue %d)\n",
+		ln.Addr(), *archName, *workers, *queue)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "paschedd: %v: draining\n", sig)
+	}
+
+	// Second signal during drain: give up immediately.
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "paschedd: second signal, aborting")
+		os.Exit(1)
+	}()
+
+	rep := srv.Drain()
+	_ = httpSrv.Close()
+	fmt.Fprintf(os.Stderr, "paschedd: drained (queued=%d in_flight=%d forced=%v)\n",
+		rep.Queued, rep.InFlight, rep.Forced)
+	if err := writeObservability(trace, *tracePath, *metricsPath, *eventsPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeObservability flushes the three obs artefacts on drain, mirroring
+// cmd/pasched so cmd/obscheck validates both batch and serving runs.
+func writeObservability(trace *obs.Trace, tracePath, metricsPath, eventsPath string) error {
+	writeFile := func(path string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile(tracePath, trace.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := writeFile(metricsPath, trace.WriteMetricsJSON); err != nil {
+		return err
+	}
+	return writeFile(eventsPath, trace.WriteEventsJSON)
+}

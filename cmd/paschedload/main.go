@@ -1,0 +1,321 @@
+// Command paschedload is the deterministic load generator for paschedd: it
+// fires seeded benchgen task graphs at a running daemon from a pool of
+// concurrent clients, retries load-shed responses with capped exponential
+// backoff plus seeded jitter, and reports client-side throughput and
+// latency quantiles in the cmd/benchjson document format (committed as
+// BENCH_serve.json by `make serve-bench`).
+//
+// Usage:
+//
+//	paschedload -url http://127.0.0.1:8080 [-n 200] [-c 8] [-rate 0]
+//	            [-solver robust] [-arch ""] [-tasks 24] [-graphs 4]
+//	            [-seed 1] [-timeout-ms 0] [-max-retries 8]
+//	            [-backoff 5ms] [-backoff-cap 250ms] [-o BENCH_serve.json]
+//
+// Retry policy: 429 and 503 (the daemon's explicit load-shed and drain
+// answers) and transport errors are retried up to -max-retries times with
+// backoff min(backoff<<attempt, cap) plus jitter drawn from a per-worker
+// PRNG seeded with -seed, so a given flag set replays the same retry
+// schedule. The daemon's Retry-After hint is honoured when it exceeds the
+// computed backoff. Any other non-200 answer (400, 422, 500, 504) is a
+// terminal outcome counted per class; the command exits non-zero only when
+// a request dies on the retry cap or an unexpected status, which makes a
+// clean exit the "zero crashes, nothing dropped" check of the robustness
+// acceptance run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resched/internal/benchgen"
+)
+
+// outcome classes tallied across the run.
+const (
+	outOK        = iota
+	outShed      // 429/503 answers that were retried
+	outTerminal  // 4xx/5xx answers that end a request (422, 500, 504, ...)
+	outExhausted // retry budget ran out
+	outTransport // connection-level failures that were retried
+	numOutcomes
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paschedload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://127.0.0.1:8080", "daemon base URL")
+	addrFile := flag.String("addr-file", "", "read the daemon address from this file (overrides -url)")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	rate := flag.Float64("rate", 0, "target request rate per second across all clients (0 = unlimited)")
+	solver := flag.String("solver", "robust", "solver name to request")
+	archName := flag.String("arch", "", "board preset to request (empty = daemon default)")
+	tasks := flag.Int("tasks", 24, "tasks per generated graph")
+	graphs := flag.Int("graphs", 4, "distinct seeded graphs cycled through")
+	seed := flag.Int64("seed", 1, "seed for graph generation and retry jitter")
+	timeoutMS := flag.Int64("timeout-ms", 0, "per-request budget sent to the daemon (0 = server clamp)")
+	maxRetries := flag.Int("max-retries", 8, "retry cap per request for shed/transport failures")
+	backoff := flag.Duration("backoff", 5*time.Millisecond, "base retry backoff")
+	backoffCap := flag.Duration("backoff-cap", 250*time.Millisecond, "retry backoff ceiling")
+	out := flag.String("o", "", "write the benchjson report here (default stdout)")
+	flag.Parse()
+
+	base := *url
+	if *addrFile != "" {
+		b, err := os.ReadFile(*addrFile)
+		if err != nil {
+			return err
+		}
+		base = "http://" + string(bytes.TrimSpace(b))
+	}
+
+	bodies, err := requestBodies(*graphs, *tasks, *seed, *solver, *archName, *timeoutMS)
+	if err != nil {
+		return err
+	}
+
+	var (
+		next     atomic.Int64 // global request ticket
+		counts   [numOutcomes]atomic.Int64
+		retries  atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration // successful-request latencies incl. retries
+		firstErr error
+	)
+	interval := time.Duration(0)
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Per-worker PRNG: jitter is deterministic given (-seed, -c).
+			rng := rand.New(rand.NewSource(*seed + int64(worker)*7919))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*n) {
+					return
+				}
+				if interval > 0 {
+					time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+				}
+				lat, err := fire(client, base, bodies[int(i)%len(bodies)], rng,
+					*maxRetries, *backoff, *backoffCap, &counts, &retries)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("request %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	doc := report(*solver, *c, *n, elapsed, lats, &counts, retries.Load())
+	if err := writeDoc(doc, *out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"paschedload: %d ok, %d terminal, %d shed-retried, %d retry-exhausted in %v\n",
+		counts[outOK].Load(), counts[outTerminal].Load(),
+		counts[outShed].Load(), counts[outExhausted].Load(), elapsed.Round(time.Millisecond))
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// requestBodies pre-encodes the POST bodies: -graphs distinct seeded
+// benchgen graphs wrapped in the serve wire schema, cycled by the workers.
+func requestBodies(graphs, tasks int, seed int64, solver, archName string, timeoutMS int64) ([][]byte, error) {
+	if graphs < 1 {
+		graphs = 1
+	}
+	bodies := make([][]byte, 0, graphs)
+	for i := 0; i < graphs; i++ {
+		g, err := benchgen.Generate(benchgen.Config{Tasks: tasks, Seed: seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		var gbuf bytes.Buffer
+		if err := g.Write(&gbuf); err != nil {
+			return nil, err
+		}
+		req := map[string]any{"solver": solver, "graph": json.RawMessage(gbuf.Bytes())}
+		if archName != "" {
+			req["arch"] = archName
+		}
+		if timeoutMS > 0 {
+			req["timeout_ms"] = timeoutMS
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// fire runs one logical request to completion: POST, classify, retry shed
+// and transport failures under the backoff policy. The returned latency
+// spans all attempts — it is the latency a real client would observe.
+func fire(client *http.Client, base string, body []byte, rng *rand.Rand,
+	maxRetries int, backoff, cap time.Duration,
+	counts *[numOutcomes]atomic.Int64, retries *atomic.Int64) (time.Duration, error) {
+	begin := time.Now()
+	for attempt := 0; ; attempt++ {
+		status, retryAfterMS, err := post(client, base+"/solve", body)
+		switch {
+		case err != nil:
+			counts[outTransport].Add(1)
+		case status == http.StatusOK:
+			counts[outOK].Add(1)
+			return time.Since(begin), nil
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			counts[outShed].Add(1)
+		default:
+			// 400/422/500/504: a definitive answer about this request;
+			// retrying cannot change it. Terminal but not a client error.
+			counts[outTerminal].Add(1)
+			return 0, fmt.Errorf("terminal status %d", status)
+		}
+		if attempt >= maxRetries {
+			counts[outExhausted].Add(1)
+			return 0, fmt.Errorf("retries exhausted after %d attempts (last status %d, err %v)",
+				attempt+1, status, err)
+		}
+		retries.Add(1)
+		d := backoff << attempt
+		if d > cap {
+			d = cap
+		}
+		// Deterministic jitter in [0, backoff) decorrelates the herd.
+		d += time.Duration(rng.Int63n(int64(backoff)))
+		if ra := time.Duration(retryAfterMS) * time.Millisecond; ra > d {
+			d = ra
+		}
+		time.Sleep(d)
+	}
+}
+
+// post sends one attempt and extracts (status, retry_after_ms hint).
+func post(client *http.Client, url string, body []byte) (status int, retryAfterMS int64, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var parsed struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err == nil {
+		_ = json.Unmarshal(raw, &parsed) // best-effort hint; absence is fine
+	}
+	return resp.StatusCode, parsed.RetryAfterMS, nil
+}
+
+// benchjson mirrors of cmd/benchjson's Doc layout (kept in sync by
+// TestServeLoadReportShape there).
+type benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// report assembles the benchjson document: one benchmark named after the
+// run shape, mean latency as ns/op, quantiles and throughput as extras.
+func report(solver string, c, n int, elapsed time.Duration, lats []time.Duration,
+	counts *[numOutcomes]atomic.Int64, retries int64) doc {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quantile := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds())
+	}
+	var mean float64
+	for _, l := range lats {
+		mean += float64(l.Nanoseconds())
+	}
+	if len(lats) > 0 {
+		mean /= float64(len(lats))
+	}
+	rps := float64(len(lats)) / elapsed.Seconds()
+	return doc{
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		Pkg:    "resched/cmd/paschedload",
+		Benchmarks: []benchmark{{
+			Name:       fmt.Sprintf("ServeLoad/%s/c=%d", solver, c),
+			Iterations: int64(len(lats)),
+			NsPerOp:    mean,
+			Extra: map[string]float64{
+				"p50_ns":          quantile(0.50),
+				"p99_ns":          quantile(0.99),
+				"req_per_sec":     rps,
+				"requests":        float64(n),
+				"retries":         float64(retries),
+				"shed_responses":  float64(counts[outShed].Load()),
+				"terminal_errors": float64(counts[outTerminal].Load()),
+			},
+		}},
+	}
+}
+
+func writeDoc(d doc, path string) error {
+	w := io.Writer(os.Stdout)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

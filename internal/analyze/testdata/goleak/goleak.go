@@ -84,3 +84,69 @@ func suppressed() {
 	//reschedvet:ignore goleak fixture demonstrates the escape hatch
 	go work()
 }
+
+// The server shapes: a long-lived worker pool spawned by a constructor and
+// joined by a separate drain method, the idiom of the serving tier's
+// admission queue (internal/serve).
+
+// server stands in for a serving tier owning a worker pool.
+type server struct {
+	wg    WaitGroup
+	queue chan int
+}
+
+// badNewServer spawns lifetime workers and returns: per-function analysis
+// has no way to see the join that lives in a drain method, so without a
+// documented suppression the constructor is flagged.
+func badNewServer(workers int) *server {
+	s := &server{queue: make(chan int)}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() { // want "not joined on every path"
+			defer s.wg.Done()
+			for range s.queue {
+			}
+		}()
+	}
+	return s
+}
+
+// suppressedNewServer is the sanctioned form of the same constructor: the
+// suppression names the joining method, the convention pool constructors
+// follow.
+func suppressedNewServer(workers int) *server {
+	s := &server{queue: make(chan int)}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		//reschedvet:ignore goleak joined by (*server).drain
+		go func() {
+			defer s.wg.Done()
+			for range s.queue {
+			}
+		}()
+	}
+	return s
+}
+
+// drain is the other half of the suppressed constructor: close the queue
+// so the workers' range loops end, then join on every path — including the
+// forced-cancel branch.
+func (s *server) drain(forced bool) {
+	close(s.queue)
+	if forced {
+		s.wg.Wait()
+		return
+	}
+	s.wg.Wait()
+}
+
+// badDrainForgetsForcedPath joins the pool on the graceful path but leaks
+// it on the forced-shutdown return.
+func badDrainForgetsForcedPath(wg *WaitGroup, forced bool) {
+	wg.Add(1)
+	go work() // want "not joined on every path"
+	if forced {
+		return
+	}
+	wg.Wait()
+}

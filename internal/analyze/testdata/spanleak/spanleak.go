@@ -192,3 +192,29 @@ func suppressedDetachedLifetime(t *Trace, c bool) {
 	}
 	sp.End()
 }
+
+// The server shapes: one root span per dispatched request, released on
+// every outcome path (success, budget trip, contained panic), the idiom of
+// the serving tier's dispatch (internal/serve).
+
+// badDispatchRequest ends the request span only on the success path; the
+// error return leaks it.
+func badDispatchRequest(t *Trace, failed bool) {
+	sp := t.StartRoot("serve.request") // want "not End-ed on every path"
+	if failed {
+		return
+	}
+	sp.End()
+}
+
+// goodDeferredOutcome is the serving-dispatch idiom: End deferred in a
+// closure (so a late-bound outcome tag can ride along), covering every
+// exit including panic unwinds contained by the worker.
+func goodDeferredOutcome(t *Trace, failed bool) {
+	sp := t.StartRoot("serve.request")
+	defer func() { sp.End() }()
+	if failed {
+		return
+	}
+	work()
+}

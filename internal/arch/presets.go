@@ -2,6 +2,8 @@ package arch
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"resched/internal/resources"
 )
@@ -80,6 +82,41 @@ func preset(name string, processors, rows, clbCols, bramCols, dspCols int) *Arch
 		MaxRes:     fabric.Capacity(),
 		Fabric:     fabric,
 	}
+}
+
+// presets maps the stable wire names of the board presets to their
+// constructors, so frontends that receive an architecture by name (the
+// scheduling daemon's JSON requests, CLI flags) resolve it in one place.
+// Constructors, not instances: every lookup returns a fresh Architecture,
+// so callers may mutate (e.g. Shrunk) without aliasing.
+var presets = map[string]func() *Architecture{
+	"zedboard": ZedBoard,
+	"microzed": MicroZed7010,
+	"zc706":    ZC706_7045,
+}
+
+// Preset returns a fresh instance of the named board preset. The empty
+// name resolves to the paper's ZedBoard. The error enumerates the valid
+// names so wire-level typos are self-explanatory.
+func Preset(name string) (*Architecture, error) {
+	if name == "" {
+		name = "zedboard"
+	}
+	ctor, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	return ctor(), nil
+}
+
+// PresetNames returns the preset names in stable (sorted) order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // MicroZed7010 models the Zynq XC7Z010 found on MicroZed boards: a single

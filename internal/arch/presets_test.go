@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"reflect"
 	"testing"
 
 	"resched/internal/resources"
@@ -75,5 +76,38 @@ func TestInterleaveConservesColumns(t *testing.T) {
 		if got[resources.CLB] != c.clb || got[resources.BRAM] != c.bram || got[resources.DSP] != c.dsp {
 			t.Errorf("interleave(%d,%d,%d) conserved %v", c.clb, c.bram, c.dsp, got)
 		}
+	}
+}
+
+func TestPresetRegistry(t *testing.T) {
+	names := PresetNames()
+	want := []string{"microzed", "zc706", "zedboard"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("PresetNames = %v, want %v", names, want)
+	}
+	for _, name := range names {
+		a, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Preset(%q) invalid: %v", name, err)
+		}
+	}
+	// The empty name defaults to the paper's board; instances are fresh.
+	a, err := Preset("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Preset("zedboard")
+	if a.Name != b.Name {
+		t.Fatalf("default preset %q, want %q", a.Name, b.Name)
+	}
+	a.Processors = 99
+	if b2, _ := Preset("zedboard"); b2.Processors == 99 {
+		t.Fatal("Preset returned an aliased instance")
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
 	}
 }

@@ -62,6 +62,8 @@ const (
 	FaultFloorplanInfeasible = "floorplan-infeasible"
 	FaultMILPLimit           = "milp-limit"
 	FaultSolverLatency       = "solver-latency"
+	FaultServeLatency        = "serve-latency"
+	FaultServeQueueFull      = "serve-queue-full"
 )
 
 // Set is an armed collection of deterministic faults. The zero value (and
@@ -71,8 +73,11 @@ type Set struct {
 	mu           sync.Mutex
 	fpInfeasible int // remaining forced-infeasible floorplan solves; <0 = every solve
 	milpLimit    int // remaining forced-Limit MILP solves; <0 = every solve
+	queueFull    int // remaining forced queue-full admissions; <0 = every admission
 	latency      time.Duration
 	clock        *Clock
+	serveLatency time.Duration
+	serveClock   *Clock
 	fired        map[string]int
 	trace        *obs.Trace
 }
@@ -113,6 +118,53 @@ func (s *Set) SetSolverLatency(d time.Duration, clk *Clock) {
 	defer s.mu.Unlock()
 	s.latency = d
 	s.clock = clk
+}
+
+// ForceQueueFull arms the next n serving-path admissions to behave as if
+// the request queue were full (the 429 load-shed path) without actually
+// filling it; n < 0 means every admission. This is the chaos hook for the
+// admission-control state machine: a test drives the shed path without
+// needing to wedge real workers behind slow solves.
+func (s *Set) ForceQueueFull(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queueFull = n
+}
+
+// SetServeLatency makes every serving-path dispatch advance clk by d before
+// the request reaches admission control, simulating a slow ingress against
+// per-request budget deadlines on the same clock. It is independent of
+// SetSolverLatency so ingress and solver slowness compose.
+func (s *Set) SetServeLatency(d time.Duration, clk *Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serveLatency = d
+	s.serveClock = clk
+}
+
+// ServeDispatch is the serving-path hook, consumed once per request before
+// admission control: it applies armed ingress latency and reports whether
+// the admission must be treated as queue-full. Solver-side hooks
+// (FloorplanSolve, MILPSolve) stay untouched, so chaos tests exercise the
+// serving path without reaching into solver options. Nil-safe.
+func (s *Set) ServeDispatch() (forceQueueFull bool) {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.serveLatency > 0 && s.serveClock != nil {
+		s.serveClock.Advance(s.serveLatency)
+		s.recordLocked(FaultServeLatency)
+	}
+	if s.queueFull == 0 {
+		return false
+	}
+	if s.queueFull > 0 {
+		s.queueFull--
+	}
+	s.recordLocked(FaultServeQueueFull)
+	return true
 }
 
 // FloorplanSolve is the hook consumed at the top of every floorplan solve.
@@ -190,6 +242,12 @@ func (s *Set) Armed() []string {
 	}
 	if s.latency > 0 && s.clock != nil {
 		names = append(names, FaultSolverLatency)
+	}
+	if s.serveLatency > 0 && s.serveClock != nil {
+		names = append(names, FaultServeLatency)
+	}
+	if s.queueFull != 0 {
+		names = append(names, FaultServeQueueFull)
 	}
 	sort.Strings(names)
 	return names

@@ -1,0 +1,22 @@
+package sched
+
+// Arena is an opaque, reusable scheduling scratch space for repeat callers
+// that sit outside this package: a serving worker that solves thousands of
+// requests over its lifetime hands the same Arena to every run and gets the
+// PR-4 allocation diet (buffers re-sliced, maps cleared, no per-request
+// arena rebuild) across requests, not just across the shrink retries and
+// PA-R iterations inside one run.
+//
+// An Arena wraps the same *state the internal pipeline uses, so the
+// arenaescape analyzer's rules apply unchanged: nothing read out of the
+// arena may outlive the run that produced it — Schedule already copies
+// everything it returns. An Arena must only ever be used by one goroutine
+// at a time; give each worker of a pool its own (the parallel PA-R search
+// does exactly this internally).
+type Arena struct {
+	s state
+}
+
+// NewArena returns an empty arena. The first run populates the buffers;
+// later runs on the same arena reuse them.
+func NewArena() *Arena { return &Arena{} }

@@ -83,6 +83,9 @@ type RobustOptions struct {
 	RandomTime time.Duration
 	// RandomSeed seeds the PA-R rung (default 1).
 	RandomSeed int64
+	// Arena, when non-nil, is the reusable scratch space for the PA rung
+	// (see Options.Arena); the PA-R rung keeps its own per-worker arenas.
+	Arena *Arena
 	// Budget bounds the whole ladder. When it runs dry the search rungs are
 	// abandoned and the ladder drops straight to the software-only rung,
 	// which needs no search.
@@ -157,6 +160,7 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 	sch, stats, err := Schedule(g, a, Options{
 		ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan,
 		MaxRetries: opts.MaxRetries, ShrinkFactor: opts.ShrinkFactor,
+		Arena:  opts.Arena,
 		Budget: opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
 	})
 	if err == nil {

@@ -62,6 +62,12 @@ type Options struct {
 	// and untraced runs produce identical schedules.
 	Trace *obs.Trace
 
+	// Arena, when non-nil, is the caller-owned reusable scratch space the
+	// run executes in, so long-lived callers (a serving worker solving a
+	// stream of requests) amortise the working buffers across runs. The
+	// arena must not be shared between goroutines or concurrent runs.
+	Arena *Arena
+
 	// scratch, when non-nil, is the reusable working arena the pipeline
 	// runs in. Repeat callers (shrink retries inside Schedule, PA-R
 	// iterations) set it once so buffers survive across runs; a nil scratch
@@ -122,7 +128,11 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 	}
 	stats := &Stats{}
 	if opts.scratch == nil {
-		opts.scratch = &state{}
+		if opts.Arena != nil {
+			opts.scratch = &opts.Arena.s
+		} else {
+			opts.scratch = &state{}
+		}
 	}
 	// observeRun records the run's distributions on success: how many
 	// shrink-retry attempts the instance needed and how many

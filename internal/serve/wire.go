@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"resched/internal/arch"
+	"resched/internal/solve"
+	"resched/internal/taskgraph"
+)
+
+// SolveRequest is the JSON body of POST /solve: one scheduling problem
+// instance plus the subset of solve.Options that makes sense over the wire.
+// The architecture travels by preset name (arch.PresetNames) rather than by
+// value: the daemon owns its hardware model, clients only pick one.
+type SolveRequest struct {
+	// Solver is a registered solver name (solve.List); empty means "robust",
+	// the rung ladder — the right default for a service that must degrade
+	// rather than fail.
+	Solver string `json:"solver,omitempty"`
+	// Arch names a board preset ("zedboard", "microzed", "zc706"); empty
+	// means the server's default.
+	Arch string `json:"arch,omitempty"`
+	// Graph is the task graph in the taskgraph JSON schema.
+	Graph json.RawMessage `json:"graph"`
+
+	ModuleReuse   bool  `json:"module_reuse,omitempty"`
+	SkipFloorplan bool  `json:"skip_floorplan,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	// SearchWorkers is PA-R's in-solver parallelism. It defaults to 1 on
+	// the serving path — the pool parallelises across requests, and a
+	// single request must not commandeer every core.
+	SearchWorkers int `json:"search_workers,omitempty"`
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// TimeBudgetMS is PA-R's wall-clock search budget in milliseconds.
+	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	MaxNodes     int   `json:"max_nodes,omitempty"`
+	// TimeoutMS is the per-request budget in milliseconds, clamped by the
+	// server's MaxBudget; 0 means "the server's MaxBudget".
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludeSchedule asks for the full schedule JSON in the response;
+	// by default only the summary fields come back.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+
+	// Decoded instance, populated by decodeRequest so the worker never
+	// re-parses the body. Not part of the wire schema.
+	graph *taskgraph.Graph
+	arch  *arch.Architecture
+}
+
+// SolveResponse is the JSON body of a successful solve (HTTP 200), and —
+// as the Partial field of ErrorResponse — of the degraded fallback a 504
+// carries.
+type SolveResponse struct {
+	// Solver is the solver that actually ran; when the admission
+	// controller shed the request to a cheaper rung this differs from the
+	// requested one, Degraded is set and ShedFrom names the original.
+	Solver   string `json:"solver"`
+	Degraded bool   `json:"degraded,omitempty"`
+	ShedFrom string `json:"shed_from,omitempty"`
+	// Rung is the degradation-ladder rung that produced the schedule
+	// (robust solver only).
+	Rung string `json:"rung,omitempty"`
+
+	Makespan     int64 `json:"makespan"`
+	SchedulingUS int64 `json:"scheduling_us"`
+	FloorplanUS  int64 `json:"floorplan_us"`
+	Retries      int   `json:"retries"`
+	Iterations   int   `json:"iterations"`
+
+	// Schedule is the full schedule JSON when the request asked for it.
+	Schedule json.RawMessage `json:"schedule,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	// Error is the human-readable failure.
+	Error string `json:"error"`
+	// Reason classifies it for machines: "queue-full", "draining",
+	// "deadline passed", "cancelled", "node cap reached", "infeasible",
+	// "panic", "bad-request".
+	Reason string `json:"reason"`
+	// Solver is the solver that was (or would have been) dispatched.
+	Solver string `json:"solver,omitempty"`
+	// RetryAfterMS mirrors the Retry-After header on 429/503 responses.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Partial carries the guaranteed all-software fallback schedule on a
+	// 504: the requested solve did not finish inside its budget, but the
+	// client still gets a valid (if conservative) schedule to run, the
+	// same bottom rung the robust ladder degrades to.
+	Partial *SolveResponse `json:"partial,omitempty"`
+}
+
+// decodeRequest parses and validates a wire request into a dispatchable
+// instance. The graph is validated on decode (taskgraph.Read semantics), so
+// workers never see a malformed instance.
+func decodeRequest(body []byte, defaultArch string) (*SolveRequest, *taskgraph.Graph, *arch.Architecture, error) {
+	var req SolveRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if req.Solver == "" {
+		req.Solver = "robust"
+	}
+	if len(req.Graph) == 0 {
+		return nil, nil, nil, fmt.Errorf("request has no graph")
+	}
+	g, err := taskgraph.Read(bytes.NewReader(req.Graph))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	name := req.Arch
+	if name == "" {
+		name = defaultArch
+	}
+	a, err := arch.Preset(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &req, g, a, nil
+}
+
+// options assembles the solver options for a request. Budget, Faults,
+// Trace and Arena are owned by the dispatch layer and wired there.
+func (r *SolveRequest) options() solve.Options {
+	workers := r.SearchWorkers
+	if workers == 0 {
+		workers = 1
+	}
+	return solve.Options{
+		ModuleReuse:   r.ModuleReuse,
+		SkipFloorplan: r.SkipFloorplan,
+		Seed:          r.Seed,
+		Workers:       workers,
+		TimeBudget:    time.Duration(r.TimeBudgetMS) * time.Millisecond,
+		MaxIterations: r.MaxIterations,
+		MaxNodes:      r.MaxNodes,
+	}
+}
+
+// buildResponse normalizes a solve.Result onto the wire. degraded is the
+// admission controller's verdict: it covers both a solver swap (shedFrom
+// non-empty) and an in-place budget clamp (robust under pressure).
+func buildResponse(req *SolveRequest, ranSolver, shedFrom string, degraded bool, res *solve.Result) (*SolveResponse, error) {
+	resp := &SolveResponse{
+		Solver:       ranSolver,
+		Degraded:     degraded,
+		ShedFrom:     shedFrom,
+		Makespan:     res.Makespan,
+		SchedulingUS: res.SchedulingTime.Microseconds(),
+		FloorplanUS:  res.FloorplanTime.Microseconds(),
+		Retries:      res.Retries,
+		Iterations:   res.Iterations,
+	}
+	if res.Ladder != nil {
+		resp.Rung = res.Ladder.Rung.String()
+	}
+	if req.IncludeSchedule && res.Schedule != nil {
+		var buf bytes.Buffer
+		if err := res.Schedule.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		resp.Schedule = json.RawMessage(buf.Bytes())
+	}
+	return resp, nil
+}

@@ -32,6 +32,7 @@ import (
 	"resched/internal/faultinject"
 	"resched/internal/floorplan"
 	"resched/internal/obs"
+	"resched/internal/sched"
 	"resched/internal/taskgraph"
 )
 
@@ -68,6 +69,13 @@ type Options struct {
 	// algorithm's historical default).
 	MaxNodes int
 
+	// Arena, when non-nil, is a caller-owned reusable scratch space for
+	// the deterministic PA pipeline (PA itself and the robust ladder's PA
+	// rung). Long-lived dispatchers — the serving tier's worker pool —
+	// keep one arena per worker so buffer reuse spans requests. It must
+	// never be shared between concurrent Solve calls; solvers that do not
+	// run the PA pipeline ignore it.
+	Arena *sched.Arena
 	// Budget, when non-nil, bounds the whole solve: deadline, cumulative
 	// node cap and cooperative cancellation thread through every solver
 	// layer that supports them.

@@ -31,6 +31,7 @@ func (paSolver) Solve(req *Request) (*Result, error) {
 		ModuleReuse:   req.ModuleReuse,
 		SkipFloorplan: req.SkipFloorplan,
 		Floorplan:     req.Floorplan,
+		Arena:         req.Arena,
 		Budget:        req.Budget,
 		Faults:        req.Faults,
 		Trace:         req.Trace,
@@ -163,6 +164,7 @@ func (robustSolver) Solve(req *Request) (*Result, error) {
 		RandomIterations: req.MaxIterations,
 		RandomTime:       req.TimeBudget,
 		RandomSeed:       req.Seed,
+		Arena:            req.Arena,
 		Budget:           req.Budget,
 		Faults:           req.Faults,
 		Trace:            req.Trace,

@@ -1,0 +1,78 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end exercise of the serving tier:
+#
+#   1. build paschedd, paschedload and obscheck
+#   2. start the daemon on an ephemeral port with a deterministic fault
+#      profile armed (forced queue-full admissions + forced floorplan
+#      infeasibility), so the load run crosses the 429 retry path and the
+#      robust degradation ladder, not just the happy path
+#   3. fire the seeded load generator at it and write the benchjson report
+#   4. SIGTERM the daemon and require a clean graceful drain (exit 0 and
+#      the "drained" log line)
+#   5. validate the flushed trace/metrics/events artefacts with obscheck
+#
+# Every knob is deterministic (fixed seed, counted faults), so two runs on
+# the same tree produce the same request outcomes. Artefacts land in
+# SERVE_SMOKE_DIR (default serve-smoke/, gitignored) for CI upload.
+#
+# Env overrides: SERVE_SMOKE_DIR, LOAD_N, LOAD_C, BENCH_OUT.
+set -eu
+
+DIR="${SERVE_SMOKE_DIR:-serve-smoke}"
+LOAD_N="${LOAD_N:-60}"
+LOAD_C="${LOAD_C:-4}"
+BENCH_OUT="${BENCH_OUT:-$DIR/BENCH_serve.json}"
+GO="${GO:-go}"
+
+mkdir -p "$DIR/bin"
+$GO build -o "$DIR/bin/paschedd" ./cmd/paschedd
+$GO build -o "$DIR/bin/paschedload" ./cmd/paschedload
+$GO build -o "$DIR/bin/obscheck" ./cmd/obscheck
+
+rm -f "$DIR/addr"
+"$DIR/bin/paschedd" \
+    -addr 127.0.0.1:0 -addr-file "$DIR/addr" \
+    -workers 2 -queue 8 \
+    -fault-queue-full 5 -fault-floorplan-infeasible 3 \
+    -trace "$DIR/trace.json" -metrics "$DIR/metrics.json" \
+    -events "$DIR/events.json" \
+    2> "$DIR/paschedd.log" &
+DAEMON=$!
+
+# The addr file appears once the listener is bound.
+i=0
+while [ ! -s "$DIR/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never bound; log:" >&2
+        cat "$DIR/paschedd.log" >&2
+        kill "$DAEMON" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "serve-smoke: daemon on $(cat "$DIR/addr")"
+
+if ! "$DIR/bin/paschedload" -addr-file "$DIR/addr" \
+    -n "$LOAD_N" -c "$LOAD_C" -seed 1 -tasks 24 -graphs 4 \
+    -o "$BENCH_OUT"; then
+    echo "serve-smoke: load run failed; daemon log:" >&2
+    cat "$DIR/paschedd.log" >&2
+    kill "$DAEMON" 2>/dev/null || true
+    exit 1
+fi
+
+kill -TERM "$DAEMON"
+if ! wait "$DAEMON"; then
+    echo "serve-smoke: daemon exited non-zero; log:" >&2
+    cat "$DIR/paschedd.log" >&2
+    exit 1
+fi
+grep -q "drained" "$DIR/paschedd.log" || {
+    echo "serve-smoke: no clean-drain log line:" >&2
+    cat "$DIR/paschedd.log" >&2
+    exit 1
+}
+
+"$DIR/bin/obscheck" "$DIR/trace.json" "$DIR/metrics.json" "$DIR/events.json"
+echo "serve-smoke: ok — report in $BENCH_OUT, artefacts in $DIR/"
