@@ -49,7 +49,7 @@ fuzz:
 # bench runs the Table I suite (plus the PA-R worker-scaling benchmarks and
 # the nil-trace overhead guard) and records it as structured JSON, the file
 # successive PRs diff to track scheduler performance over time.
-BENCH_RE = BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances|BenchmarkNilTrace
+BENCH_RE = BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances|BenchmarkNilTrace|BenchmarkCache
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
 

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -150,7 +151,10 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
-			b.NsPerOp = val
+			// go test reports mean ns/op, which is fractional for fast
+			// benchmarks; a nanosecond is already below timer resolution,
+			// so round to integer ns to keep the JSON stable and diffable.
+			b.NsPerOp = math.Round(val)
 		case "B/op":
 			b.BytesPerOp = int64(val)
 		case "allocs/op":

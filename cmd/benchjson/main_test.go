@@ -164,3 +164,85 @@ func TestRunCompareAllocRegression(t *testing.T) {
 		t.Errorf("alloc regression not flagged; output:\n%s", buf.String())
 	}
 }
+
+// TestParseRoundsFractionalNsPerOp: go test emits mean ns/op with a
+// fractional tail for fast benchmarks (e.g. 96702534.46666667); the JSON
+// must carry whole nanoseconds so refreshed BENCH_*.json files diff
+// cleanly run to run.
+func TestParseRoundsFractionalNsPerOp(t *testing.T) {
+	cases := []struct {
+		line string
+		want float64
+	}{
+		{"BenchmarkServeLoad-8   15   96702534.46666667 ns/op", 96702534},
+		{"BenchmarkFast-8   1000000   12.5 ns/op", 13}, // round half away from zero
+		{"BenchmarkWhole-8   100   5000 ns/op", 5000},
+	}
+	for _, tc := range cases {
+		b, ok := parseLine(tc.line)
+		if !ok {
+			t.Fatalf("parseLine(%q) rejected", tc.line)
+		}
+		if b.NsPerOp != tc.want {
+			t.Errorf("parseLine(%q).NsPerOp = %v, want %v", tc.line, b.NsPerOp, tc.want)
+		}
+	}
+}
+
+// TestServeLoadReportShape pins the wire contract with cmd/paschedload,
+// which emits this Doc layout with hand-mirrored structs: a paschedload
+// report (including the cache-mode extras) must decode losslessly into our
+// Doc, so `benchjson -compare` can diff serve-load runs.
+func TestServeLoadReportShape(t *testing.T) {
+	sample := `{
+	 "goos": "linux",
+	 "goarch": "amd64",
+	 "pkg": "resched/cmd/paschedload",
+	 "benchmarks": [{
+	  "name": "ServeLoad/robust/c=6",
+	  "iterations": 120,
+	  "ns_per_op": 96702534,
+	  "extra": {
+	   "p50_ns": 91000000,
+	   "p99_ns": 180000000,
+	   "req_per_sec": 61.5,
+	   "requests": 120,
+	   "retries": 4,
+	   "shed_responses": 2,
+	   "terminal_errors": 0,
+	   "cache_hits": 40,
+	   "cache_warm_starts": 18,
+	   "cache_misses": 62,
+	   "cache_hit_ratio": 0.3333333333333333
+	  }
+	 }]
+	}`
+	doc := &Doc{}
+	if err := json.Unmarshal([]byte(sample), doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "ServeLoad/robust/c=6" || b.Iterations != 120 || b.NsPerOp != 96702534 {
+		t.Fatalf("core fields mangled: %+v", b)
+	}
+	for _, key := range []string{
+		"p50_ns", "p99_ns", "req_per_sec", "requests", "retries",
+		"shed_responses", "terminal_errors",
+		"cache_hits", "cache_warm_starts", "cache_misses", "cache_hit_ratio",
+	} {
+		if _, ok := b.Extra[key]; !ok {
+			t.Fatalf("extra metric %q lost in decode", key)
+		}
+	}
+	// And back out: a re-encode must keep the extras (compare reads them).
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"cache_hit_ratio"`) {
+		t.Fatal("re-encode dropped the cache extras")
+	}
+}

@@ -8,29 +8,41 @@
 //
 // Usage:
 //
-//	obscheck trace.json metrics.json events.json
+//	obscheck [-require-counters a,b] trace.json metrics.json events.json
 //
-// Arguments are positional and all required, in that order.
+// File arguments are positional and all required, in that order.
+// -require-counters names counters (comma-separated) that must be present
+// in the metrics document with a value greater than zero — the smoke run
+// uses it to prove specific subsystems (e.g. the schedule cache) actually
+// fired, not just that some counters exist.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 func main() {
-	if len(os.Args) != 4 {
-		fmt.Fprintln(os.Stderr, "usage: obscheck trace.json metrics.json events.json")
+	required := flag.String("require-counters", "",
+		"comma-separated counter names that must be present with value > 0 in metrics.json")
+	flag.Parse()
+	if flag.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-require-counters a,b] trace.json metrics.json events.json")
 		os.Exit(2)
+	}
+	metricsCheck := func(data []byte) error {
+		return checkMetrics(data, splitList(*required))
 	}
 	checks := []struct {
 		path  string
 		check func([]byte) error
 	}{
-		{os.Args[1], checkTrace},
-		{os.Args[2], checkMetrics},
-		{os.Args[3], checkEvents},
+		{flag.Arg(0), checkTrace},
+		{flag.Arg(1), metricsCheck},
+		{flag.Arg(2), checkEvents},
 	}
 	failed := false
 	for _, c := range checks {
@@ -85,10 +97,22 @@ func checkTrace(data []byte) error {
 	return nil
 }
 
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
 // checkMetrics validates the metrics document: at least one counter, one
-// span aggregate and one histogram, and every histogram internally
-// consistent (count > 0, min <= p50 <= p99 <= max).
-func checkMetrics(data []byte) error {
+// span aggregate and one histogram, every histogram internally consistent
+// (count > 0, min <= p50 <= p99 <= max), and every required counter
+// present with a positive value.
+func checkMetrics(data []byte, required []string) error {
 	var doc struct {
 		Counters   map[string]int64 `json:"counters"`
 		Spans      map[string]any   `json:"spans"`
@@ -111,6 +135,13 @@ func checkMetrics(data []byte) error {
 	}
 	if len(doc.Histograms) == 0 {
 		return fmt.Errorf("no histograms")
+	}
+	for _, name := range required {
+		if v, ok := doc.Counters[name]; !ok {
+			return fmt.Errorf("required counter %s missing", name)
+		} else if v <= 0 {
+			return fmt.Errorf("required counter %s is %d, want > 0", name, v)
+		}
 	}
 	for name, h := range doc.Histograms {
 		if h.Count <= 0 {

@@ -55,6 +55,7 @@ import (
 	"resched/internal/obs"
 	"resched/internal/obs/obshttp"
 	"resched/internal/sched"
+	"resched/internal/schedcache"
 	"resched/internal/schedule"
 	"resched/internal/sim"
 	"resched/internal/solve"
@@ -112,6 +113,8 @@ func run() (retErr error) {
 		maxNodes = flag.Int64("maxnodes", 0, "search-node budget across all solves (0 = unlimited)")
 		faultFP  = flag.Int("fault-floorplan-infeasible", 0, "inject: force the next N floorplan solves infeasible (-1 = all)")
 		faultML  = flag.Int("fault-milp-limit", 0, "inject: force the next N MILP solves to stop at their limit (-1 = all)")
+
+		cacheEntries = flag.Int("cache-entries", 0, "schedule-cache capacity (0 = no caching); repeated identical runs return the cached result, near-misses warm-start the solver")
 	)
 	flag.Parse()
 	if *robust {
@@ -120,6 +123,10 @@ func run() (retErr error) {
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cacheEntries > 0 {
+		// Install before Get so the resolved solver is cache-decorated.
+		schedcache.Install(schedcache.New(*cacheEntries))
 	}
 	solver, err := solve.Get(*algo)
 	if err != nil {

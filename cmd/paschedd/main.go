@@ -60,7 +60,15 @@ func run() error {
 	faultQF := flag.Int("fault-queue-full", 0, "force the next N admissions to shed with 429 (-1 = all)")
 	faultFP := flag.Int("fault-floorplan-infeasible", 0, "force the next N floorplan solves infeasible (-1 = all)")
 	faultML := flag.Int("fault-milp-limit", 0, "force the next N MILP solves to stop at their limit (-1 = all)")
+	cacheEntries := flag.Int("cache-entries", 256, "schedule-cache capacity (0 = disable caching)")
 	flag.Parse()
+
+	// The wire flag reads naturally (0 = off) while the Config convention is
+	// "0 = default, negative = off"; map between them here.
+	cacheCfg := *cacheEntries
+	if cacheCfg <= 0 {
+		cacheCfg = -1
+	}
 
 	trace := obs.New()
 	var faults *faultinject.Set
@@ -80,13 +88,14 @@ func run() error {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MaxBudget:   *maxBudget,
-		DrainBudget: *drainBudget,
-		DefaultArch: *archName,
-		Faults:      faults,
-		Trace:       trace,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBudget:    *maxBudget,
+		DrainBudget:  *drainBudget,
+		DefaultArch:  *archName,
+		CacheEntries: cacheCfg,
+		Faults:       faults,
+		Trace:        trace,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -11,6 +11,15 @@
 //	            [-solver robust] [-arch ""] [-tasks 24] [-graphs 4]
 //	            [-seed 1] [-timeout-ms 0] [-max-retries 8]
 //	            [-backoff 5ms] [-backoff-cap 250ms] [-o BENCH_serve.json]
+//	            [-repeat-frac 0] [-perturb-frac 0]
+//
+// Cache exercise: -repeat-frac re-sends one of the base bodies verbatim
+// (the daemon's schedule cache answers with an exact hit), -perturb-frac
+// sends a near-miss — one implementation time of one task bumped by a few
+// ticks — which the cache warm-starts. Both draws come from a PRNG seeded
+// with -seed, and the first -graphs tickets always send the base bodies in
+// order (priming), so a given flag set replays the same request sequence
+// and the reported cache hit ratio is reproducible.
 //
 // Retry policy: 429 and 503 (the daemon's explicit load-shed and drain
 // answers) and transport errors are retried up to -max-retries times with
@@ -30,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -40,6 +50,7 @@ import (
 	"time"
 
 	"resched/internal/benchgen"
+	"resched/internal/taskgraph"
 )
 
 // outcome classes tallied across the run.
@@ -74,6 +85,8 @@ func run() error {
 	maxRetries := flag.Int("max-retries", 8, "retry cap per request for shed/transport failures")
 	backoff := flag.Duration("backoff", 5*time.Millisecond, "base retry backoff")
 	backoffCap := flag.Duration("backoff-cap", 250*time.Millisecond, "retry backoff ceiling")
+	repeatFrac := flag.Float64("repeat-frac", 0, "fraction of requests re-sending a base body verbatim (exact cache hits)")
+	perturbFrac := flag.Float64("perturb-frac", 0, "fraction of requests sending a near-miss perturbation (cache warm starts)")
 	out := flag.String("o", "", "write the benchjson report here (default stdout)")
 	flag.Parse()
 
@@ -86,7 +99,12 @@ func run() error {
 		base = "http://" + string(bytes.TrimSpace(b))
 	}
 
-	bodies, err := requestBodies(*graphs, *tasks, *seed, *solver, *archName, *timeoutMS)
+	bases, baseGraphs, err := requestBodies(*graphs, *tasks, *seed, *solver, *archName, *timeoutMS)
+	if err != nil {
+		return err
+	}
+	bodies, err := bodySequence(bases, baseGraphs, *n, *seed, *repeatFrac, *perturbFrac,
+		*solver, *archName, *timeoutMS)
 	if err != nil {
 		return err
 	}
@@ -94,6 +112,7 @@ func run() error {
 	var (
 		next     atomic.Int64 // global request ticket
 		counts   [numOutcomes]atomic.Int64
+		cache    cacheTally
 		retries  atomic.Int64
 		mu       sync.Mutex
 		lats     []time.Duration // successful-request latencies incl. retries
@@ -121,8 +140,8 @@ func run() error {
 				if interval > 0 {
 					time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
 				}
-				lat, err := fire(client, base, bodies[int(i)%len(bodies)], rng,
-					*maxRetries, *backoff, *backoffCap, &counts, &retries)
+				lat, err := fire(client, base, bodies[int(i)], rng,
+					*maxRetries, *backoff, *backoffCap, &counts, &cache, &retries)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -140,7 +159,7 @@ func run() error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	doc := report(*solver, *c, *n, elapsed, lats, &counts, retries.Load())
+	doc := report(*solver, *c, *n, elapsed, lats, &counts, &cache, retries.Load())
 	if err := writeDoc(doc, *out); err != nil {
 		return err
 	}
@@ -154,36 +173,110 @@ func run() error {
 	return nil
 }
 
-// requestBodies pre-encodes the POST bodies: -graphs distinct seeded
-// benchgen graphs wrapped in the serve wire schema, cycled by the workers.
-func requestBodies(graphs, tasks int, seed int64, solver, archName string, timeoutMS int64) ([][]byte, error) {
+// requestBodies pre-encodes the base POST bodies: -graphs distinct seeded
+// benchgen graphs wrapped in the serve wire schema. The graphs themselves
+// come back too so the perturbation path can derive near-misses without
+// re-parsing JSON.
+func requestBodies(graphs, tasks int, seed int64, solver, archName string, timeoutMS int64) ([][]byte, []*taskgraph.Graph, error) {
 	if graphs < 1 {
 		graphs = 1
 	}
 	bodies := make([][]byte, 0, graphs)
+	gs := make([]*taskgraph.Graph, 0, graphs)
 	for i := 0; i < graphs; i++ {
 		g, err := benchgen.Generate(benchgen.Config{Tasks: tasks, Seed: seed + int64(i)})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var gbuf bytes.Buffer
-		if err := g.Write(&gbuf); err != nil {
-			return nil, err
-		}
-		req := map[string]any{"solver": solver, "graph": json.RawMessage(gbuf.Bytes())}
-		if archName != "" {
-			req["arch"] = archName
-		}
-		if timeoutMS > 0 {
-			req["timeout_ms"] = timeoutMS
-		}
-		body, err := json.Marshal(req)
+		body, err := wrapBody(g, solver, archName, timeoutMS)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		bodies = append(bodies, body)
+		gs = append(gs, g)
 	}
-	return bodies, nil
+	return bodies, gs, nil
+}
+
+// wrapBody encodes one graph in the serve wire schema.
+func wrapBody(g *taskgraph.Graph, solver, archName string, timeoutMS int64) ([]byte, error) {
+	var gbuf bytes.Buffer
+	if err := g.Write(&gbuf); err != nil {
+		return nil, err
+	}
+	req := map[string]any{"solver": solver, "graph": json.RawMessage(gbuf.Bytes())}
+	if archName != "" {
+		req["arch"] = archName
+	}
+	if timeoutMS > 0 {
+		req["timeout_ms"] = timeoutMS
+	}
+	return json.Marshal(req)
+}
+
+// bodySequence precomputes the body for every request ticket so the mix of
+// repeats, perturbations and base cycling is a pure function of the flags:
+// the first len(bases) tickets send the bases in order (priming the
+// daemon's cache), then each ticket draws once from a dedicated PRNG —
+// repeat a random base verbatim, send a near-miss perturbation of one, or
+// fall back to plain base cycling.
+func bodySequence(bases [][]byte, baseGraphs []*taskgraph.Graph, n int, seed int64,
+	repeatFrac, perturbFrac float64, solver, archName string, timeoutMS int64) ([][]byte, error) {
+	if repeatFrac < 0 || perturbFrac < 0 || repeatFrac+perturbFrac > 1 {
+		return nil, fmt.Errorf("repeat-frac %v / perturb-frac %v: need non-negative fractions summing to at most 1",
+			repeatFrac, perturbFrac)
+	}
+	// The sequence generator is decoupled from the graph/jitter seeds so
+	// adding the mix flags never changes the base graphs themselves.
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	seq := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if i < len(bases) {
+			seq[i] = bases[i]
+			continue
+		}
+		switch r := rng.Float64(); {
+		case r < repeatFrac:
+			seq[i] = bases[rng.Intn(len(bases))]
+		case r < repeatFrac+perturbFrac:
+			body, err := perturbBody(baseGraphs[rng.Intn(len(baseGraphs))], rng,
+				solver, archName, timeoutMS)
+			if err != nil {
+				return nil, err
+			}
+			seq[i] = body
+		default:
+			seq[i] = bases[i%len(bases)]
+		}
+	}
+	return seq, nil
+}
+
+// perturbBody derives a near-miss from a base graph: one implementation
+// time of one task bumped by 1–3 ticks — exactly the delta-2 signature
+// perturbation the schedule cache's similarity probe accepts.
+func perturbBody(g *taskgraph.Graph, rng *rand.Rand, solver, archName string, timeoutMS int64) ([]byte, error) {
+	p := g.Clone()
+	t := rng.Intn(len(p.Tasks))
+	im := rng.Intn(len(p.Tasks[t].Impls))
+	p.Tasks[t].Impls[im].Time += 1 + rng.Int63n(3)
+	return wrapBody(p, solver, archName, timeoutMS)
+}
+
+// cacheTally counts the daemon's per-response cache verdicts.
+type cacheTally struct {
+	hits, warm, miss atomic.Int64
+}
+
+func (c *cacheTally) note(verdict string) {
+	switch verdict {
+	case "hit":
+		c.hits.Add(1)
+	case "warm":
+		c.warm.Add(1)
+	case "miss":
+		c.miss.Add(1)
+	}
 }
 
 // fire runs one logical request to completion: POST, classify, retry shed
@@ -191,15 +284,16 @@ func requestBodies(graphs, tasks int, seed int64, solver, archName string, timeo
 // spans all attempts — it is the latency a real client would observe.
 func fire(client *http.Client, base string, body []byte, rng *rand.Rand,
 	maxRetries int, backoff, cap time.Duration,
-	counts *[numOutcomes]atomic.Int64, retries *atomic.Int64) (time.Duration, error) {
+	counts *[numOutcomes]atomic.Int64, cache *cacheTally, retries *atomic.Int64) (time.Duration, error) {
 	begin := time.Now()
 	for attempt := 0; ; attempt++ {
-		status, retryAfterMS, err := post(client, base+"/solve", body)
+		status, retryAfterMS, verdict, err := post(client, base+"/solve", body)
 		switch {
 		case err != nil:
 			counts[outTransport].Add(1)
 		case status == http.StatusOK:
 			counts[outOK].Add(1)
+			cache.note(verdict)
 			return time.Since(begin), nil
 		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
 			counts[outShed].Add(1)
@@ -228,21 +322,23 @@ func fire(client *http.Client, base string, body []byte, rng *rand.Rand,
 	}
 }
 
-// post sends one attempt and extracts (status, retry_after_ms hint).
-func post(client *http.Client, url string, body []byte) (status int, retryAfterMS int64, err error) {
+// post sends one attempt and extracts (status, retry_after_ms hint, cache
+// verdict).
+func post(client *http.Client, url string, body []byte) (status int, retryAfterMS int64, cacheVerdict string, err error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	var parsed struct {
-		RetryAfterMS int64 `json:"retry_after_ms"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+		Cache        string `json:"cache"`
 	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err == nil {
-		_ = json.Unmarshal(raw, &parsed) // best-effort hint; absence is fine
+		_ = json.Unmarshal(raw, &parsed) // best-effort hints; absence is fine
 	}
-	return resp.StatusCode, parsed.RetryAfterMS, nil
+	return resp.StatusCode, parsed.RetryAfterMS, parsed.Cache, nil
 }
 
 // benchjson mirrors of cmd/benchjson's Doc layout (kept in sync by
@@ -267,7 +363,7 @@ type doc struct {
 // report assembles the benchjson document: one benchmark named after the
 // run shape, mean latency as ns/op, quantiles and throughput as extras.
 func report(solver string, c, n int, elapsed time.Duration, lats []time.Duration,
-	counts *[numOutcomes]atomic.Int64, retries int64) doc {
+	counts *[numOutcomes]atomic.Int64, cache *cacheTally, retries int64) doc {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	quantile := func(q float64) float64 {
 		if len(lats) == 0 {
@@ -281,9 +377,15 @@ func report(solver string, c, n int, elapsed time.Duration, lats []time.Duration
 		mean += float64(l.Nanoseconds())
 	}
 	if len(lats) > 0 {
-		mean /= float64(len(lats))
+		// Whole nanoseconds, matching cmd/benchjson's rounding: the mean's
+		// fractional tail is below timer resolution and churns diffs.
+		mean = math.Round(mean / float64(len(lats)))
 	}
 	rps := float64(len(lats)) / elapsed.Seconds()
+	hitRatio := 0.0
+	if ok := counts[outOK].Load(); ok > 0 {
+		hitRatio = float64(cache.hits.Load()) / float64(ok)
+	}
 	return doc{
 		Goos:   runtime.GOOS,
 		Goarch: runtime.GOARCH,
@@ -293,13 +395,17 @@ func report(solver string, c, n int, elapsed time.Duration, lats []time.Duration
 			Iterations: int64(len(lats)),
 			NsPerOp:    mean,
 			Extra: map[string]float64{
-				"p50_ns":          quantile(0.50),
-				"p99_ns":          quantile(0.99),
-				"req_per_sec":     rps,
-				"requests":        float64(n),
-				"retries":         float64(retries),
-				"shed_responses":  float64(counts[outShed].Load()),
-				"terminal_errors": float64(counts[outTerminal].Load()),
+				"p50_ns":            quantile(0.50),
+				"p99_ns":            quantile(0.99),
+				"req_per_sec":       rps,
+				"requests":          float64(n),
+				"retries":           float64(retries),
+				"shed_responses":    float64(counts[outShed].Load()),
+				"terminal_errors":   float64(counts[outTerminal].Load()),
+				"cache_hits":        float64(cache.hits.Load()),
+				"cache_warm_starts": float64(cache.warm.Load()),
+				"cache_misses":      float64(cache.miss.Load()),
+				"cache_hit_ratio":   hitRatio,
 			},
 		}},
 	}

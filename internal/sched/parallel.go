@@ -97,13 +97,24 @@ func rscheduleParallel(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fa
 	// the shared child — the survivors' partial results stay comparable.
 	var stop atomic.Bool
 
+	// A warm-start incumbent is a fixed input, so handing its makespan to
+	// every worker as the initial improvement bar keeps the workers
+	// independent of each other: each still computes a pure function of
+	// (Seed, Workers, MaxIterations, InitialIncumbent).
+	var incumbent *schedule.Schedule
+	var bar int64 // 0 = no bar
+	if usableIncumbent(opts.InitialIncumbent, g) {
+		incumbent, bar = opts.InitialIncumbent, opts.InitialIncumbent.Makespan
+		opts.Trace.Count("par.incumbent_seeded", 1)
+	}
+
 	results := make([]parResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runParWorker(g, a, fabric, opts, bud, shared, &stop, w, workers, start)
+			results[w] = runParWorker(g, a, fabric, opts, bud, shared, &stop, w, workers, bar, start)
 		}(w)
 	}
 	wg.Wait()
@@ -162,6 +173,10 @@ func rscheduleParallel(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fa
 	opts.Trace.Count("par.iterations", int64(stats.Iterations))
 	opts.Trace.Count("par.floorplan_calls", int64(stats.FloorplanCalls))
 	opts.Trace.SetGauge("par.capacity_factor", stats.CapacityFactor)
+	if best == nil && incumbent != nil {
+		// No worker beat the warm-start bar: the incumbent stands.
+		return incumbent, stats, nil
+	}
 	if best == nil {
 		// Same fallback as the sequential search: the deterministic
 		// scheduler under the caller's overall budget.
@@ -182,7 +197,7 @@ func rscheduleParallel(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fa
 // Everything that influences scheduling decisions is worker-local: the
 // generator, the incumbent that gates floorplan queries, the capacity
 // factor and the scratch arena.
-func runParWorker(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fabric, opts RandomOptions, bud *budget.Budget, shared *sharedCapFactor, stop *atomic.Bool, w, workers int, start time.Time) parResult {
+func runParWorker(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fabric, opts RandomOptions, bud *budget.Budget, shared *sharedCapFactor, stop *atomic.Bool, w, workers int, bar int64, start time.Time) parResult {
 	res := parResult{capFactor: 1.0}
 	rng := rand.New(rand.NewSource(mixSeed(opts.Seed, w)))
 	inner := Options{
@@ -232,7 +247,13 @@ func runParWorker(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fabric,
 			break
 		}
 		res.stats.Iterations++
-		if res.best != nil && sch.Makespan >= res.best.Makespan {
+		// The improvement bar is the worker's own best when it has one, else
+		// the warm-start incumbent's makespan (bar == 0 means neither).
+		limit := bar
+		if res.best != nil {
+			limit = res.best.Makespan
+		}
+		if limit > 0 && sch.Makespan >= limit {
 			it.End(obs.Str("outcome", "not-improving"))
 			continue
 		}

@@ -56,6 +56,25 @@ type RandomOptions struct {
 	// overhead per iteration is two clock readings. A nil trace is a no-op
 	// and recording never perturbs the seeded search.
 	Trace *obs.Trace
+
+	// InitialIncumbent, when non-nil, warm-starts the search: it becomes
+	// the incumbent before iteration 0, so candidates must beat its
+	// makespan before any floorplan query is spent, and it is returned
+	// unchanged (the same pointer) when nothing does. The caller owns the
+	// schedule and vouches that it is a valid, already-floorplanned
+	// schedule of this exact instance — internal/schedcache pairs it by
+	// instance digest; a schedule whose task count does not match the graph
+	// is ignored. The search stays a pure function of (Seed, Workers,
+	// MaxIterations, InitialIncumbent): the incumbent only raises the
+	// improvement bar, it never changes which candidates are generated.
+	InitialIncumbent *schedule.Schedule
+}
+
+// usableIncumbent reports whether a warm-start incumbent can seed the
+// search for graph g: it must describe the same task set and carry a
+// computed makespan.
+func usableIncumbent(inc *schedule.Schedule, g *taskgraph.Graph) bool {
+	return inc != nil && len(inc.Tasks) == g.N() && inc.Makespan > 0
 }
 
 // Virtual-capacity shrinking on floorplan-infeasible candidates: each
@@ -154,6 +173,13 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 	defer bud.Cancel()
 	stats := &RandomStats{}
 	var best *schedule.Schedule
+	if usableIncumbent(opts.InitialIncumbent, g) {
+		// Warm start: the cached schedule is the incumbent from iteration 0.
+		// It enters no History record (it is not an improvement this search
+		// found) and, if nothing beats it, is returned as-is.
+		best = opts.InitialIncumbent
+		opts.Trace.Count("par.incumbent_seeded", 1)
+	}
 
 	inner := Options{
 		ModuleReuse:   opts.ModuleReuse,

@@ -95,6 +95,13 @@ type RobustOptions struct {
 	// Trace records a robust.run span annotated with the armed faults and
 	// the rung that fired, plus the usual per-rung scheduler spans.
 	Trace *obs.Trace
+	// FloorplanHint warm-starts the PA rung's phase-8 feasibility check
+	// (see Options.FloorplanHint); an unverifiable hint is ignored.
+	FloorplanHint []floorplan.Placement
+	// InitialIncumbent warm-starts the PA-R rung (see
+	// RandomOptions.InitialIncumbent). The PA rung runs first regardless:
+	// the ladder's rung order is part of its contract.
+	InitialIncumbent *schedule.Schedule
 }
 
 func (o RobustOptions) withDefaults() RobustOptions {
@@ -160,8 +167,9 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 	sch, stats, err := Schedule(g, a, Options{
 		ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan,
 		MaxRetries: opts.MaxRetries, ShrinkFactor: opts.ShrinkFactor,
-		Arena:  opts.Arena,
-		Budget: opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
+		Arena:         opts.Arena,
+		FloorplanHint: opts.FloorplanHint,
+		Budget:        opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
 	})
 	if err == nil {
 		res.Schedule, res.Stats, res.Placements = sch, stats, stats.Placements
@@ -185,7 +193,8 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 			TimeBudget: opts.RandomTime, MaxIterations: opts.RandomIterations,
 			Seed: opts.RandomSeed, ModuleReuse: opts.ModuleReuse,
 			Floorplan: opts.Floorplan, Budget: opts.Budget,
-			Faults: opts.Faults, Trace: opts.Trace,
+			InitialIncumbent: opts.InitialIncumbent,
+			Faults:           opts.Faults, Trace: opts.Trace,
 		})
 		if rerr == nil {
 			res.Schedule = sch

@@ -62,6 +62,18 @@ type Options struct {
 	// and untraced runs produce identical schedules.
 	Trace *obs.Trace
 
+	// FloorplanHint, when non-empty, is a warm-start candidate for phase 8:
+	// before searching, the hint rectangles are verified against the run's
+	// region requirements (floorplan.Verify), and when they fit, the
+	// floorplan search is skipped entirely and the hint becomes the
+	// placement. A hint that does not verify — wrong region count, overlap,
+	// short on resources — is ignored and the normal search runs, so the
+	// hint can only change *which* feasible placement is returned, never
+	// whether the schedule is feasible. The scheduling phases 1–7 do not
+	// read it: task assignments and the makespan are hint-independent.
+	// The hint slice is only read, never retained or mutated.
+	FloorplanHint []floorplan.Placement
+
 	// Arena, when non-nil, is the caller-owned reusable scratch space the
 	// run executes in, so long-lived callers (a serving worker solving a
 	// stream of requests) amortise the working buffers across runs. The
@@ -169,6 +181,22 @@ func Schedule(g *taskgraph.Graph, a *arch.Architecture, opts Options) (*schedule
 		if err != nil {
 			att.End(obs.Str("outcome", "error"))
 			return nil, nil, fmt.Errorf("sched: floorplanning requested: %w", err)
+		}
+		if len(opts.FloorplanHint) > 0 && len(opts.FloorplanHint) == len(regionRes) {
+			hintBegin := time.Now()
+			hintErr := floorplan.Verify(fabric, regionRes, opts.FloorplanHint)
+			stats.FloorplanTime += time.Since(hintBegin)
+			if hintErr == nil {
+				// The hint verified against this run's regions: adopt it as
+				// the placement. Copying detaches the result from the
+				// caller-owned hint slice.
+				stats.Placements = append([]floorplan.Placement(nil), opts.FloorplanHint...)
+				opts.Trace.Count("pa.floorplan_hint_used", 1)
+				att.End(obs.Str("outcome", "feasible-hint"))
+				observeRun(sch)
+				return sch, stats, nil
+			}
+			opts.Trace.Count("pa.floorplan_hint_rejected", 1)
 		}
 		p8 := opts.Trace.Start("pa.phase8.floorplan")
 		fpBegin := time.Now()

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/floorplan"
+	"resched/internal/obs"
+	"resched/internal/schedule"
+)
+
+// TestFloorplanHintShortCircuit: a hint that verifies against the run's
+// regions must be adopted verbatim — same schedule as a hint-free run,
+// placements equal to the hint, and the floorplan search skipped (counted
+// via the trace).
+func TestFloorplanHintShortCircuit(t *testing.T) {
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	base, baseStats, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseStats.Placements) == 0 {
+		t.Fatal("baseline run produced no placements; hint test needs them")
+	}
+
+	trace := obs.New()
+	sch, stats, err := Schedule(g, a, Options{
+		FloorplanHint: baseStats.Placements,
+		Trace:         trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sch.Tasks, base.Tasks) {
+		t.Fatal("hinted run changed the schedule")
+	}
+	if sch.Makespan != base.Makespan {
+		t.Fatalf("hinted makespan %d != base %d", sch.Makespan, base.Makespan)
+	}
+	if !reflect.DeepEqual(stats.Placements, baseStats.Placements) {
+		t.Fatal("hinted run did not adopt the hint placements")
+	}
+	if got := trace.Metrics().Counters["pa.floorplan_hint_used"]; got != 1 {
+		t.Fatalf("pa.floorplan_hint_used = %d, want 1", got)
+	}
+}
+
+// TestFloorplanHintRejected: an unverifiable hint must be ignored — the
+// run falls back to the regular floorplan search and ends bit-identical
+// to a hint-free run.
+func TestFloorplanHintRejected(t *testing.T) {
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	base, baseStats, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Right length, wrong content: every region stacked on the same cell
+	// overlaps and cannot verify.
+	bad := make([]floorplan.Placement, len(baseStats.Placements))
+	for i := range bad {
+		bad[i] = floorplan.Placement{X0: 0, X1: 1, Y0: 0, Y1: 1}
+	}
+	trace := obs.New()
+	sch, stats, err := Schedule(g, a, Options{FloorplanHint: bad, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sch.Tasks, base.Tasks) || sch.Makespan != base.Makespan {
+		t.Fatal("rejected hint still changed the schedule")
+	}
+	if !reflect.DeepEqual(stats.Placements, baseStats.Placements) {
+		t.Fatal("rejected hint changed the floorplan result")
+	}
+	if got := trace.Metrics().Counters["pa.floorplan_hint_rejected"]; got != 1 {
+		t.Fatalf("pa.floorplan_hint_rejected = %d, want 1", got)
+	}
+}
+
+// TestSequentialIncumbentStands: when no sequential PA-R iteration beats
+// the warm-start incumbent, the incumbent itself is returned.
+func TestSequentialIncumbentStands(t *testing.T) {
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	// An unbeatable incumbent: makespan 1 with the right task count.
+	inc := schedule.New(g, a)
+	inc.Makespan = 1
+	sch, stats, err := RSchedule(g, a, RandomOptions{
+		Seed: 1, Workers: 1, MaxIterations: 4, InitialIncumbent: inc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch != inc {
+		t.Fatal("unbeaten incumbent was not returned as-is")
+	}
+	if len(stats.History) != 0 {
+		t.Fatalf("incumbent produced %d History entries, want 0", len(stats.History))
+	}
+	if stats.FloorplanCalls != 0 {
+		t.Fatalf("unbeatable incumbent still allowed %d floorplan calls", stats.FloorplanCalls)
+	}
+}
+
+// TestParallelIncumbent: the parallel search with an incumbent stays
+// deterministic (double-run identical) and never returns anything worse
+// than the incumbent.
+func TestParallelIncumbent(t *testing.T) {
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	inc, _, err := Schedule(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() *schedule.Schedule {
+		sch, _, err := RSchedule(g, a, RandomOptions{
+			Seed: 1, Workers: 3, MaxIterations: 12, InitialIncumbent: inc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sch
+	}
+	x, y := run(), run()
+	if x.Makespan != y.Makespan || !reflect.DeepEqual(x.Tasks, y.Tasks) {
+		t.Fatal("parallel warm-started double-run differs")
+	}
+	if x.Makespan > inc.Makespan {
+		t.Fatalf("warm result %d worse than incumbent %d", x.Makespan, inc.Makespan)
+	}
+
+	// Unbeatable incumbent: every worker is gated by the bar, so the
+	// incumbent itself must come back.
+	unbeatable := schedule.New(g, a)
+	unbeatable.Makespan = 1
+	sch, stats, err := RSchedule(g, a, RandomOptions{
+		Seed: 1, Workers: 3, MaxIterations: 12, InitialIncumbent: unbeatable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch != unbeatable {
+		t.Fatal("parallel search did not return the unbeaten incumbent")
+	}
+	if stats.FloorplanCalls != 0 {
+		t.Fatalf("bar did not gate floorplan calls: %d", stats.FloorplanCalls)
+	}
+}
+
+// TestUsableIncumbentGuards: incompatible incumbents are ignored, not
+// trusted.
+func TestUsableIncumbentGuards(t *testing.T) {
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := benchgen.Generate(benchgen.Config{Tasks: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	wrongSize := schedule.New(other, a)
+	wrongSize.Makespan = 1
+	if usableIncumbent(wrongSize, g) {
+		t.Fatal("incumbent with wrong task count accepted")
+	}
+	zero := schedule.New(g, a)
+	if usableIncumbent(zero, g) {
+		t.Fatal("incumbent with zero makespan accepted")
+	}
+	if usableIncumbent(nil, g) {
+		t.Fatal("nil incumbent accepted")
+	}
+	good := schedule.New(g, a)
+	good.Makespan = 5
+	if !usableIncumbent(good, g) {
+		t.Fatal("valid incumbent rejected")
+	}
+}

@@ -1,0 +1,180 @@
+package schedcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/floorplan"
+	"resched/internal/schedule"
+	"resched/internal/solve"
+)
+
+// testEntry fabricates a distinct cached result keyed by n.
+func testEntry(tb testing.TB, n int) *entry {
+	tb.Helper()
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 6, Seed: int64(100 + n)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	keys := computeKeys(&solve.Request{Graph: g, Arch: a}, "pa")
+	sch := schedule.New(g, a)
+	sch.Makespan = int64(1000 + n)
+	return &entry{
+		key: keys.full, instance: keys.instance, arch: keys.arch, sig: signatureOf(g),
+		res: &solve.Result{Schedule: sch, Makespan: sch.Makespan},
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2)
+	e0, e1, e2 := testEntry(t, 0), testEntry(t, 1), testEntry(t, 2)
+	c.store(e0)
+	c.store(e1)
+	// Touch e0 so e1 becomes the LRU victim.
+	if _, ok := c.lookup(e0.key); !ok {
+		t.Fatal("e0 should hit")
+	}
+	c.store(e2)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.lookup(e1.key); ok {
+		t.Fatal("e1 should have been evicted (LRU)")
+	}
+	if _, ok := c.lookup(e0.key); !ok {
+		t.Fatal("e0 should survive (recently used)")
+	}
+	if _, ok := c.lookup(e2.key); !ok {
+		t.Fatal("e2 should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Stores != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction / 3 stores", st)
+	}
+}
+
+func TestCacheStoreReplacesInPlace(t *testing.T) {
+	c := New(2)
+	e := testEntry(t, 0)
+	c.store(e)
+	e2 := testEntry(t, 0)
+	e2.res.Makespan = 7
+	c.store(e2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after same-key re-store", c.Len())
+	}
+	res, ok := c.lookup(e.key)
+	if !ok || res.Makespan != 7 {
+		t.Fatalf("lookup = %v/%v, want replaced result", res, ok)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	if c := New(0); c.capacity != defaultCapacity {
+		t.Fatalf("New(0) capacity = %d, want %d", c.capacity, defaultCapacity)
+	}
+	if c := New(-5); c.capacity != defaultCapacity {
+		t.Fatalf("New(-5) capacity = %d, want %d", c.capacity, defaultCapacity)
+	}
+}
+
+// TestCacheConcurrentHammer drives every cache operation from many
+// goroutines over a capacity small enough to force constant eviction; run
+// under -race (make verify does) it proves the locking discipline.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := New(8)
+	entries := make([]*entry, 32)
+	for i := range entries {
+		entries[i] = testEntry(t, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := entries[(w*31+i)%len(entries)]
+				switch i % 4 {
+				case 0:
+					c.store(e)
+				case 1:
+					c.lookup(e.key)
+				case 2:
+					c.sameInstance(e.instance)
+				default:
+					c.nearest(e.arch, e.sig)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Fatalf("Len = %d, want ≤ capacity 8", n)
+	}
+	st := c.Stats()
+	if st.Stores == 0 || st.Hits+st.Misses == 0 {
+		t.Fatalf("hammer recorded no activity: %+v", st)
+	}
+}
+
+// TestSameInstancePicksBestMakespan: among entries of one instance the
+// probe must return the lowest makespan, independent of insertion or
+// recency order.
+func TestSameInstancePicksBestMakespan(t *testing.T) {
+	c := New(8)
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ZedBoard()
+	mk := func(solver string, makespan int64) *entry {
+		req := &solve.Request{Graph: g, Arch: a}
+		req.Seed = makespan // move the par key per entry
+		req.MaxIterations = 4
+		keys := computeKeys(req, solver)
+		sch := schedule.New(g, a)
+		sch.Makespan = makespan
+		return &entry{key: keys.full, instance: keys.instance, arch: keys.arch,
+			sig: signatureOf(g), res: &solve.Result{Schedule: sch, Makespan: makespan}}
+	}
+	c.store(mk("par", 300))
+	c.store(mk("par", 100))
+	c.store(mk("par", 200))
+	ent, ok := c.sameInstance(mk("par", 999).instance)
+	if !ok || ent.res.Schedule.Makespan != 100 {
+		t.Fatalf("sameInstance = %v (ok=%v), want makespan 100", ent, ok)
+	}
+}
+
+// TestNearestRespectsThreshold: a structurally different graph must not
+// be offered as a warm-start neighbor.
+func TestNearestRespectsThreshold(t *testing.T) {
+	c := New(8)
+	base := testEntry(t, 0)
+	// Give it a placement so it qualifies as a hint donor.
+	base.res.Placements = []floorplan.Placement{{X0: 0, X1: 1, Y0: 0, Y1: 1}}
+	c.store(base)
+	far := testEntry(t, 9) // different seed ⇒ unrelated graph
+	if _, _, ok := c.nearest(far.arch, far.sig); ok {
+		t.Fatal("nearest matched an unrelated graph")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	c := New(4)
+	e := testEntry(t, 0)
+	c.lookup(e.key) // miss
+	c.store(e)
+	c.lookup(e.key) // hit
+	c.noteWarm()
+	st := c.Stats()
+	want := Stats{Entries: 1, Hits: 1, Misses: 1, WarmStarts: 1, Stores: 1}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+	_ = fmt.Sprintf("%+v", st) // Stats must stay printable for debug surfaces
+}

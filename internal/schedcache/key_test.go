@@ -1,0 +1,162 @@
+package schedcache
+
+import (
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/solve"
+)
+
+// goldenRequest is the fixed instance behind the golden key vectors:
+// suite-style graph (10 tasks, seed 42) on the ZedBoard architecture.
+func goldenRequest(tb testing.TB) *solve.Request {
+	tb.Helper()
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 10, Seed: 42})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &solve.Request{Graph: g, Arch: arch.ZedBoard()}
+}
+
+// TestKeyGoldenVectors pins the canonical key format: if any of these hex
+// digests change, the canonical encoding changed and keyVersion must be
+// bumped (and these vectors re-pinned) in the same commit. Only solvers
+// whose key is machine-independent are pinned; par with Workers=0 and
+// robust fold in GOMAXPROCS and are covered by the stability test below.
+func TestKeyGoldenVectors(t *testing.T) {
+	cases := []struct {
+		name   string
+		solver string
+		mut    func(*solve.Options)
+		want   string
+	}{
+		{
+			name: "pa-defaults", solver: "pa", mut: func(o *solve.Options) {},
+			want: "7ec744802a631bfa780269ec16d86e5fbbf8dc5c7ef3c4b206a4bf593babaca8",
+		},
+		{
+			name: "pa-reuse", solver: "pa",
+			mut:  func(o *solve.Options) { o.ModuleReuse = true },
+			want: "65f31a70b4e7952972f285d9c4d2029e704f457e3b55334affb20508021a59d9",
+		},
+		{
+			name: "par-explicit-workers", solver: "par",
+			mut: func(o *solve.Options) {
+				o.Seed = 3
+				o.Workers = 2
+				o.MaxIterations = 8
+			},
+			want: "11100035c5308b0fc4082848b640eadd0c7701add49c56194887dd1f76e67a4d",
+		},
+		{
+			name: "is5", solver: "is5",
+			mut:  func(o *solve.Options) { o.MaxNodes = 1000 },
+			want: "43957af9657fa3916e3e6a1ddb881b5eea9b6cdc70ed50d96218040f39e4fa40",
+		},
+		{
+			name: "exact", solver: "exact",
+			mut:  func(o *solve.Options) { o.MaxNodes = 5000 },
+			want: "28cf7e3888fe3df513b523679d91b3093b9b3441f34178e744499d5c459caaad",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := goldenRequest(t)
+			tc.mut(&req.Options)
+			got := Key(req, tc.solver)
+			if got != tc.want {
+				t.Fatalf("key drifted:\n got %s\nwant %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestKeyIgnoresUnreadOptions: options a solver never reads must not move
+// its key — that is what lets, e.g., every PA request share one entry
+// regardless of seed.
+func TestKeyIgnoresUnreadOptions(t *testing.T) {
+	req := goldenRequest(t)
+	base := Key(req, "pa")
+	req.Seed = 99
+	req.Workers = 7
+	req.MaxIterations = 1000
+	req.MaxNodes = 123
+	got := Key(req, "pa")
+	if got != base {
+		t.Fatalf("pa key moved on unread options: %s vs %s", got, base)
+	}
+}
+
+// TestKeySensitivity: fields a solver does read must move its key.
+func TestKeySensitivity(t *testing.T) {
+	req := goldenRequest(t)
+	req.Seed, req.Workers, req.MaxIterations = 3, 2, 8
+	base := Key(req, "par")
+	for name, mut := range map[string]func(*solve.Request){
+		"seed":    func(r *solve.Request) { r.Seed = 4 },
+		"workers": func(r *solve.Request) { r.Workers = 3 },
+		"maxiter": func(r *solve.Request) { r.MaxIterations = 9 },
+		"reuse":   func(r *solve.Request) { r.ModuleReuse = true },
+		"graph":   func(r *solve.Request) { r.Graph.Tasks[0].Impls[0].Time++ },
+		"arch":    func(r *solve.Request) { r.Arch.Processors++ },
+		"solver":  func(r *solve.Request) {},
+	} {
+		r := goldenRequest(t)
+		r.Seed, r.Workers, r.MaxIterations = 3, 2, 8
+		mut(r)
+		solver := "par"
+		if name == "solver" {
+			solver = "robust"
+		}
+		got := Key(r, solver)
+		if got == base {
+			t.Errorf("%s: key did not move", name)
+		}
+	}
+}
+
+// TestKeyStableWithinProcess: machine-dependent keys (robust folds in
+// GOMAXPROCS) must still be deterministic within one process.
+func TestKeyStableWithinProcess(t *testing.T) {
+	req := goldenRequest(t)
+	a := Key(req, "robust")
+	b := Key(goldenRequest(t), "robust")
+	if a != b {
+		t.Fatalf("robust key unstable: %s vs %s", a, b)
+	}
+}
+
+// TestSignatureDelta pins the similarity semantics the warm-start
+// threshold relies on: a single-field perturbation costs exactly 2, a
+// structural edit costs much more, and delta is symmetric.
+func TestSignatureDelta(t *testing.T) {
+	g, err := benchgen.Generate(benchgen.Config{Tasks: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := signatureOf(g)
+	if d := base.Delta(base); d != 0 {
+		t.Fatalf("self delta = %d, want 0", d)
+	}
+
+	perturbed := g.Clone()
+	perturbed.Tasks[3].Impls[0].Time += 2
+	psig := signatureOf(perturbed)
+	if d := base.Delta(psig); d != 2 {
+		t.Fatalf("one-field perturbation delta = %d, want 2", d)
+	}
+	if d := psig.Delta(base); d != 2 {
+		t.Fatalf("delta not symmetric: %d", d)
+	}
+
+	smaller, err := benchgen.Generate(benchgen.Config{Tasks: 19, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssig := signatureOf(smaller)
+	limit := New(1).threshold(base.Size())
+	if d := base.Delta(ssig); d <= limit {
+		t.Fatalf("structural edit delta = %d, want > threshold %d", d, limit)
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"resched/internal/obs"
+)
+
+// TestCacheHitOnRepeat: the second POST of an identical body must come
+// back tagged "cache": "hit" with the same makespan, and /healthz must
+// show the counters moving.
+func TestCacheHitOnRepeat(t *testing.T) {
+	s := newServer(t, Config{Trace: obs.New()})
+	h := s.Handler()
+	payload := body(t, map[string]any{"solver": "pa", "graph": graphJSON(t, 16, 7)})
+
+	var first SolveResponse
+	if code := postRec(t, h, payload, &first); code != http.StatusOK {
+		t.Fatalf("first solve = %d", code)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first solve cache = %q, want miss", first.Cache)
+	}
+	var second SolveResponse
+	if code := postRec(t, h, payload, &second); code != http.StatusOK {
+		t.Fatalf("second solve = %d", code)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second solve cache = %q, want hit", second.Cache)
+	}
+	if second.Makespan != first.Makespan {
+		t.Fatalf("hit makespan %d != miss makespan %d", second.Makespan, first.Makespan)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var health Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Cache == nil {
+		t.Fatal("healthz has no cache block with caching enabled")
+	}
+	if health.Cache.Hits != 1 || health.Cache.Entries != 1 {
+		t.Fatalf("cache health = %+v, want 1 hit / 1 entry", health.Cache)
+	}
+}
+
+// TestCacheWarmStartAcrossSolvers: solving the same instance with pa and
+// then robust must warm-start the ladder from the cached PA result.
+func TestCacheWarmStartAcrossSolvers(t *testing.T) {
+	s := newServer(t, Config{Trace: obs.New()})
+	h := s.Handler()
+	graph := graphJSON(t, 16, 7)
+
+	var pa SolveResponse
+	if code := postRec(t, h, body(t, map[string]any{"solver": "pa", "graph": graph}), &pa); code != http.StatusOK {
+		t.Fatalf("pa solve = %d", code)
+	}
+	var robust SolveResponse
+	if code := postRec(t, h, body(t, map[string]any{"solver": "robust", "graph": graph}), &robust); code != http.StatusOK {
+		t.Fatalf("robust solve = %d", code)
+	}
+	if robust.Cache != "warm" {
+		t.Fatalf("robust cache = %q, want warm", robust.Cache)
+	}
+	st := s.cache.Stats()
+	if st.WarmStarts != 1 {
+		t.Fatalf("warm starts = %d, want 1", st.WarmStarts)
+	}
+}
+
+// TestCacheDisabled: a negative CacheEntries must leave responses and
+// /healthz free of any cache surface.
+func TestCacheDisabled(t *testing.T) {
+	s := newServer(t, Config{CacheEntries: -1, Trace: obs.New()})
+	h := s.Handler()
+	payload := body(t, map[string]any{"solver": "pa", "graph": graphJSON(t, 16, 7)})
+
+	for i := 0; i < 2; i++ {
+		var resp SolveResponse
+		if code := postRec(t, h, payload, &resp); code != http.StatusOK {
+			t.Fatalf("solve %d = %d", i, code)
+		}
+		if resp.Cache != "" {
+			t.Fatalf("solve %d cache = %q with caching disabled", i, resp.Cache)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var health Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Cache != nil {
+		t.Fatal("healthz reports cache counters with caching disabled")
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"resched/internal/obs"
 	"resched/internal/obs/obshttp"
 	"resched/internal/sched"
+	"resched/internal/schedcache"
 	"resched/internal/solve"
 )
 
@@ -98,6 +99,12 @@ type Config struct {
 	// DefaultArch names the board preset used when a request names none
 	// (default "zedboard").
 	DefaultArch string
+	// CacheEntries bounds the server-owned schedule cache (default 256
+	// entries); a negative value disables caching entirely. The cache is
+	// wired per-server via schedcache.Wrap in the dispatch path — the
+	// server must never also Install a process-global cache, or requests
+	// would consult two.
+	CacheEntries int
 
 	// Clock is the budget time source (nil = wall clock); tests inject a
 	// faultinject.Clock so deadline behaviour is hand-advanced.
@@ -141,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultArch == "" {
 		c.DefaultArch = "zedboard"
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
 	}
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
@@ -216,6 +226,10 @@ type Server struct {
 
 	root *budget.Budget // ancestor of every request budget; Cancel = abort all
 
+	// cache is the server-owned schedule cache (nil when disabled): exact
+	// request repeats skip the solver, near-misses warm-start it.
+	cache *schedcache.Cache
+
 	wg      sync.WaitGroup
 	exited  atomic.Int64 // workers that have left their loop
 	stopped chan struct{}
@@ -237,6 +251,9 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		root:    budget.New(budget.Options{Clock: cfg.Clock, Trace: cfg.Trace}),
 		stopped: make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = schedcache.New(cfg.CacheEntries)
 	}
 	s.degradeThreshold = threshold(cfg.DegradeAt, cfg.QueueDepth)
 	s.rejectThreshold = threshold(cfg.RejectAt, cfg.QueueDepth)
@@ -301,6 +318,17 @@ type Health struct {
 	Refused    int64  `json:"refused_draining"`
 	Degraded   int64  `json:"degraded"`
 	Panics     int64  `json:"panics"`
+	// Cache reports the schedule-cache counters; omitted when disabled.
+	Cache *CacheHealth `json:"cache,omitempty"`
+}
+
+// CacheHealth is the /healthz view of the schedule cache.
+type CacheHealth struct {
+	Entries    int   `json:"entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	WarmStarts int64 `json:"warm_starts"`
+	Evictions  int64 `json:"evictions"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -311,6 +339,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	state, queued := s.state, len(s.queue)
 	s.mu.Unlock()
+	var cacheHealth *CacheHealth
+	if s.cache != nil {
+		st := s.cache.Stats()
+		cacheHealth = &CacheHealth{
+			Entries:    st.Entries,
+			Hits:       st.Hits,
+			Misses:     st.Misses,
+			WarmStarts: st.WarmStarts,
+			Evictions:  st.Evictions,
+		}
+	}
 	writeJSON(w, http.StatusOK, Health{
 		State:      stateName(state),
 		Workers:    s.cfg.Workers,
@@ -323,6 +362,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Refused:    s.refused.Load(),
 		Degraded:   s.degraded.Load(),
 		Panics:     s.panics.Load(),
+		Cache:      cacheHealth,
 	})
 }
 
@@ -531,7 +571,11 @@ func (s *Server) safeSolve(j *job, req *solve.Request) (res *solve.Result, err e
 	if err != nil {
 		return nil, err
 	}
-	return solver.Solve(req)
+	// The cache decorates the solver per request: exact repeats return the
+	// stored result, near-misses warm-start the solve. Wrap is a no-op on a
+	// nil cache, and uncacheable requests (armed faults, wall-clock search
+	// budgets) pass through inside the decorator.
+	return schedcache.Wrap(solver, s.cache).Solve(req)
 }
 
 // fail maps a dispatch error onto the wire: status, machine reason, and —

@@ -64,6 +64,12 @@ type SolveResponse struct {
 	// (robust solver only).
 	Rung string `json:"rung,omitempty"`
 
+	// Cache reports how the server's schedule cache participated: "hit"
+	// (stored result, no solver run), "warm" (a cached neighbor warm-started
+	// the solve) or "miss". Omitted when the cache is disabled or the
+	// request bypassed it, so pre-cache clients see unchanged bodies.
+	Cache string `json:"cache,omitempty"`
+
 	Makespan     int64 `json:"makespan"`
 	SchedulingUS int64 `json:"scheduling_us"`
 	FloorplanUS  int64 `json:"floorplan_us"`
@@ -150,6 +156,7 @@ func buildResponse(req *SolveRequest, ranSolver, shedFrom string, degraded bool,
 		Solver:       ranSolver,
 		Degraded:     degraded,
 		ShedFrom:     shedFrom,
+		Cache:        res.Cache,
 		Makespan:     res.Makespan,
 		SchedulingUS: res.SchedulingTime.Microseconds(),
 		FloorplanUS:  res.FloorplanTime.Microseconds(),

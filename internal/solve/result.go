@@ -41,6 +41,14 @@ type Result struct {
 	Exact *ExactStats
 	// Ladder is the degradation-ladder detail (robust); nil otherwise.
 	Ladder *LadderStats
+
+	// Cache reports how the schedule cache participated when a caching
+	// decorator (internal/schedcache) handled the request: "hit" (the
+	// stored result was returned without running the solver), "warm" (a
+	// cached neighbor warm-started a fresh solve) or "miss" (a fresh solve,
+	// now stored). Empty when no cache was in the path — the zero value
+	// keeps uncached reports byte-identical to their pre-cache output.
+	Cache string
 }
 
 // SearchStats describes a PA-R search.
@@ -91,6 +99,11 @@ type LadderStats struct {
 // experiments harness; its output is byte-for-byte the report the CLI
 // printed before the solve layer existed.
 func (r *Result) WriteReport(w io.Writer) error {
+	if r.Cache != "" {
+		if _, err := fmt.Fprintf(w, "cache: %s\n", r.Cache); err != nil {
+			return err
+		}
+	}
 	if l := r.Ladder; l != nil {
 		if _, err := fmt.Fprintf(w, "rung: %s\n", l.Rung); err != nil {
 			return err

@@ -33,6 +33,7 @@ import (
 	"resched/internal/floorplan"
 	"resched/internal/obs"
 	"resched/internal/sched"
+	"resched/internal/schedule"
 	"resched/internal/taskgraph"
 )
 
@@ -86,6 +87,20 @@ type Options struct {
 	// Trace, when non-nil, records the solver's span taxonomy (package
 	// obs). A nil trace is a no-op and tracing never perturbs schedules.
 	Trace *obs.Trace
+
+	// InitialIncumbent warm-starts the randomized search (PA-R and the
+	// robust ladder's PA-R rung) with a known-good schedule of this exact
+	// instance: candidates must beat its makespan before any floorplan
+	// query is spent (sched.RandomOptions.InitialIncumbent). Deterministic
+	// solvers ignore it. internal/schedcache injects it on near-miss cache
+	// lookups; callers setting it by hand own the compatibility claim.
+	InitialIncumbent *schedule.Schedule
+	// FloorplanHint warm-starts the phase-8 feasibility check of the
+	// floorplanning solvers that run the PA pipeline (pa, and the robust
+	// ladder's PA rung): a hint that verifies against the run's regions
+	// skips the floorplan search; one that does not is ignored
+	// (sched.Options.FloorplanHint). Other solvers ignore it.
+	FloorplanHint []floorplan.Placement
 }
 
 // Request is one scheduling problem instance plus the unified options.

@@ -32,6 +32,7 @@ func (paSolver) Solve(req *Request) (*Result, error) {
 		SkipFloorplan: req.SkipFloorplan,
 		Floorplan:     req.Floorplan,
 		Arena:         req.Arena,
+		FloorplanHint: req.FloorplanHint,
 		Budget:        req.Budget,
 		Faults:        req.Faults,
 		Trace:         req.Trace,
@@ -57,15 +58,16 @@ func (parSolver) Name() string { return "par" }
 
 func (parSolver) Solve(req *Request) (*Result, error) {
 	sch, stats, err := sched.RSchedule(req.Graph, req.Arch, sched.RandomOptions{
-		TimeBudget:    req.TimeBudget,
-		MaxIterations: req.MaxIterations,
-		Seed:          req.Seed,
-		Workers:       req.Workers,
-		ModuleReuse:   req.ModuleReuse,
-		Floorplan:     req.Floorplan,
-		Budget:        req.Budget,
-		Faults:        req.Faults,
-		Trace:         req.Trace,
+		TimeBudget:       req.TimeBudget,
+		MaxIterations:    req.MaxIterations,
+		Seed:             req.Seed,
+		Workers:          req.Workers,
+		ModuleReuse:      req.ModuleReuse,
+		Floorplan:        req.Floorplan,
+		InitialIncumbent: req.InitialIncumbent,
+		Budget:           req.Budget,
+		Faults:           req.Faults,
+		Trace:            req.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -165,6 +167,8 @@ func (robustSolver) Solve(req *Request) (*Result, error) {
 		RandomTime:       req.TimeBudget,
 		RandomSeed:       req.Seed,
 		Arena:            req.Arena,
+		FloorplanHint:    req.FloorplanHint,
+		InitialIncumbent: req.InitialIncumbent,
 		Budget:           req.Budget,
 		Faults:           req.Faults,
 		Trace:            req.Trace,

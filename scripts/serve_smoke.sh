@@ -7,20 +7,25 @@
 #      infeasibility), so the load run crosses the 429 retry path and the
 #      robust degradation ladder, not just the happy path
 #   3. fire the seeded load generator at it and write the benchjson report
-#   4. SIGTERM the daemon and require a clean graceful drain (exit 0 and
+#   4. fire a second, cache-heavy session (repeat + perturb mix against a
+#      small graph pool) so the schedule cache's exact-hit and warm-start
+#      paths both run
+#   5. SIGTERM the daemon and require a clean graceful drain (exit 0 and
 #      the "drained" log line)
-#   5. validate the flushed trace/metrics/events artefacts with obscheck
+#   6. validate the flushed trace/metrics/events artefacts with obscheck,
+#      requiring the cache.hits and cache.warm_starts counters to be live
 #
 # Every knob is deterministic (fixed seed, counted faults), so two runs on
 # the same tree produce the same request outcomes. Artefacts land in
 # SERVE_SMOKE_DIR (default serve-smoke/, gitignored) for CI upload.
 #
-# Env overrides: SERVE_SMOKE_DIR, LOAD_N, LOAD_C, BENCH_OUT.
+# Env overrides: SERVE_SMOKE_DIR, LOAD_N, LOAD_C, CACHE_N, BENCH_OUT.
 set -eu
 
 DIR="${SERVE_SMOKE_DIR:-serve-smoke}"
 LOAD_N="${LOAD_N:-60}"
 LOAD_C="${LOAD_C:-4}"
+CACHE_N="${CACHE_N:-40}"
 BENCH_OUT="${BENCH_OUT:-$DIR/BENCH_serve.json}"
 GO="${GO:-go}"
 
@@ -62,6 +67,19 @@ if ! "$DIR/bin/paschedload" -addr-file "$DIR/addr" \
     exit 1
 fi
 
+# Cache session: half the tickets repeat a base body (exact hits), a
+# quarter send a near-miss perturbation (warm starts). The armed fault
+# counters are depleted by the first run, so this one sees clean paths.
+if ! "$DIR/bin/paschedload" -addr-file "$DIR/addr" \
+    -n "$CACHE_N" -c 4 -seed 7 -tasks 20 -graphs 2 \
+    -repeat-frac 0.5 -perturb-frac 0.25 \
+    -o "$DIR/BENCH_cache.json"; then
+    echo "serve-smoke: cache load run failed; daemon log:" >&2
+    cat "$DIR/paschedd.log" >&2
+    kill "$DAEMON" 2>/dev/null || true
+    exit 1
+fi
+
 kill -TERM "$DAEMON"
 if ! wait "$DAEMON"; then
     echo "serve-smoke: daemon exited non-zero; log:" >&2
@@ -74,5 +92,6 @@ grep -q "drained" "$DIR/paschedd.log" || {
     exit 1
 }
 
-"$DIR/bin/obscheck" "$DIR/trace.json" "$DIR/metrics.json" "$DIR/events.json"
+"$DIR/bin/obscheck" -require-counters cache.hits,cache.warm_starts \
+    "$DIR/trace.json" "$DIR/metrics.json" "$DIR/events.json"
 echo "serve-smoke: ok — report in $BENCH_OUT, artefacts in $DIR/"
