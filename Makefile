@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz obs-smoke serve-smoke serve-bench
+.PHONY: verify fmt-check vet build test race reschedvet solvecheck bench bench-all benchcmp fuzz obs-smoke serve-smoke serve-bench online-smoke
 
 verify: fmt-check vet build race reschedvet solvecheck
 	@echo "verify: all gates passed"
@@ -49,7 +49,7 @@ fuzz:
 # bench runs the Table I suite (plus the PA-R worker-scaling benchmarks and
 # the nil-trace overhead guard) and records it as structured JSON, the file
 # successive PRs diff to track scheduler performance over time.
-BENCH_RE = BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances|BenchmarkNilTrace|BenchmarkCache
+BENCH_RE = BenchmarkTable1|BenchmarkPAR|BenchmarkPAParallelInstances|BenchmarkNilTrace|BenchmarkCache|BenchmarkOnline
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_table1.json
 
@@ -90,6 +90,24 @@ obs-smoke:
 SERVE_SMOKE_DIR ?= serve-smoke
 serve-smoke:
 	SERVE_SMOKE_DIR=$(SERVE_SMOKE_DIR) GO=$(GO) sh scripts/serve_smoke.sh
+
+# online-smoke exercises the rolling-horizon engine end-to-end: a seeded
+# arrival trace replayed through cmd/paschedsim with the prefetch-vs-baseline
+# comparison, the stitched schedule verified (Check + sim replay inside the
+# tool), and the flushed artefacts validated by obscheck, which requires the
+# online.epochs and online.prefetch_hits counters to be live. The daemon's
+# session mode is exercised by serve-smoke (paschedsim -daemon-addr-file).
+ONLINE_SMOKE_DIR ?= online-smoke
+online-smoke:
+	mkdir -p $(ONLINE_SMOKE_DIR)
+	$(GO) run ./cmd/paschedsim -seed 3 -jobs 4 -tasks 8 -mean-gap 800 -comm-max 30 \
+		-compare -fault-late-arrival 1 -fault-late-delay 1500 \
+		-trace $(ONLINE_SMOKE_DIR)/trace.json \
+		-metrics $(ONLINE_SMOKE_DIR)/metrics.json \
+		-events $(ONLINE_SMOKE_DIR)/events.json > $(ONLINE_SMOKE_DIR)/run.txt
+	$(GO) run ./cmd/obscheck -require-counters online.epochs,online.prefetch_hits \
+		$(ONLINE_SMOKE_DIR)/trace.json $(ONLINE_SMOKE_DIR)/metrics.json $(ONLINE_SMOKE_DIR)/events.json
+	@echo "online-smoke: artefacts in $(ONLINE_SMOKE_DIR)/"
 
 # serve-bench refreshes the committed serving-throughput baseline: the same
 # smoke pipeline but with the full request count, writing BENCH_serve.json

@@ -5,13 +5,16 @@
 //
 //	paschedd [-addr 127.0.0.1:8080] [-addr-file path]
 //	         [-arch zedboard|microzed|zc706] [-workers 2] [-queue 16]
-//	         [-max-budget 30s] [-drain-budget 10s]
+//	         [-max-budget 30s] [-drain-budget 10s] [-max-sessions 8]
 //	         [-trace trace.json] [-metrics metrics.json] [-events events.json]
 //	         [-fault-queue-full N] [-fault-floorplan-infeasible N]
 //	         [-fault-milp-limit N]
 //
-// Endpoints: POST /solve, GET /healthz, GET /metrics, GET /debug/* (see
-// internal/serve). -addr-file writes the actually-bound address (useful
+// Endpoints: POST /solve for stateless instances, POST /session/open,
+// /session/submit and /session/close for rolling-horizon online scheduling
+// (one long-lived engine per session, jobs streaming in over time), GET
+// /healthz, GET /metrics, GET /debug/* (see internal/serve).
+// -addr-file writes the actually-bound address (useful
 // with -addr 127.0.0.1:0) so scripts can find an ephemeral port. The
 // -fault-* flags arm the deterministic chaos hooks — forced queue-full
 // admissions and solver-rung failures — so a load test can exercise the
@@ -54,6 +57,7 @@ func run() error {
 	queue := flag.Int("queue", 16, "admission queue depth")
 	maxBudget := flag.Duration("max-budget", 30*time.Second, "per-request budget clamp")
 	drainBudget := flag.Duration("drain-budget", 10*time.Second, "graceful-drain allowance")
+	maxSessions := flag.Int("max-sessions", 8, "concurrently open rolling-horizon sessions")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON here on drain")
 	metricsPath := flag.String("metrics", "", "write metrics JSON here on drain")
 	eventsPath := flag.String("events", "", "write flight-recorder JSON here on drain")
@@ -92,6 +96,7 @@ func run() error {
 		QueueDepth:   *queue,
 		MaxBudget:    *maxBudget,
 		DrainBudget:  *drainBudget,
+		MaxSessions:  *maxSessions,
 		DefaultArch:  *archName,
 		CacheEntries: cacheCfg,
 		Faults:       faults,

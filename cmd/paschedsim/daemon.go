@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"resched/internal/online"
+	"resched/internal/serve"
+)
+
+// replayDaemon replays the trace against a running paschedd through the
+// session API instead of an in-process engine: open a session with the same
+// engine parameters, stream the jobs over /session/submit in arrival order,
+// and finalize with /session/close. The daemon owns the engine, so the
+// observability artefacts (online.* counters) land in ITS metrics flush —
+// which is exactly what the serving smoke validates with obscheck.
+func replayDaemon(addr string, tc online.TraceConfig, cfg online.Config) error {
+	tr, err := online.GenTrace(tc)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	var opened serve.SessionOpenResponse
+	if err := post(base+"/session/open", serve.SessionOpenRequest{
+		Solver:           cfg.Solver,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		MaxIterations:    cfg.MaxIterations,
+		ModuleReuse:      cfg.ModuleReuse,
+		DisablePrefetch:  cfg.DisablePrefetch,
+		EpochNodes:       cfg.EpochNodes,
+		PolishIterations: cfg.PolishIterations,
+	}, &opened); err != nil {
+		return fmt.Errorf("session open: %w", err)
+	}
+	fmt.Printf("session %s on %s (solver %s, arch %s)\n", opened.Session, addr, opened.Solver, opened.Arch)
+
+	for _, job := range tr.Jobs {
+		var buf bytes.Buffer
+		if err := job.Graph.Write(&buf); err != nil {
+			return err
+		}
+		var resp serve.SessionSubmitResponse
+		if err := post(base+"/session/submit", serve.SessionSubmitRequest{
+			Session:  opened.Session,
+			Name:     job.Name,
+			Graph:    json.RawMessage(buf.Bytes()),
+			Arrival:  job.Arrival,
+			Deadline: job.Deadline,
+		}, &resp); err != nil {
+			return fmt.Errorf("submit %s: %w", job.Name, err)
+		}
+		fmt.Printf("  %-8s arrival %6d -> %d epochs, commit %d, makespan %d\n",
+			job.Name, job.Arrival, resp.Epochs, resp.Commit, resp.Makespan)
+	}
+
+	var closed serve.SessionCloseResponse
+	if err := post(base+"/session/close", serve.SessionCloseRequest{Session: opened.Session}, &closed); err != nil {
+		return fmt.Errorf("session close: %w", err)
+	}
+	if len(closed.Epochs) == 0 || closed.Makespan <= 0 {
+		return fmt.Errorf("session closed with no plan: %d epochs, makespan %d", len(closed.Epochs), closed.Makespan)
+	}
+	fmt.Printf("session closed: %d epochs, stitched makespan %d, %d deadline misses\n",
+		len(closed.Epochs), closed.Makespan, len(closed.MissedDeadlines))
+	return nil
+}
+
+// post sends one JSON request and decodes the JSON reply, surfacing non-200
+// responses as errors carrying the body.
+func post(url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, r.Status, strings.TrimSpace(buf.String()))
+	}
+	return json.Unmarshal(buf.Bytes(), resp)
+}
+
+// daemonAddr resolves the -daemon / -daemon-addr-file flags.
+func daemonAddr(addr, addrFile string) (string, error) {
+	if addr != "" {
+		return addr, nil
+	}
+	b, err := os.ReadFile(addrFile)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}

@@ -15,18 +15,22 @@ import (
 // The callee analysis uses the module-wide index (Module.PollsBudget), so a
 // loop whose body only calls sched.runPipeline still counts as polling when
 // runPipeline charges the budget three packages away. The check is scoped to
-// the solver packages (sched, isk, milp, floorplan, lp, exact): elsewhere an
-// unbounded loop is an ordinary event loop, not a solve.
+// the solver packages (sched, isk, milp, floorplan, lp, exact) plus the
+// online engine, whose epoch re-plan loop runs a full solve per turn and must
+// stay interruptible between epochs: elsewhere an unbounded loop is an
+// ordinary event loop, not a solve.
 var BudgetLoop = &Analyzer{
 	Name: "budgetloop",
 	Doc:  "unbounded loops in solver packages must poll the budget",
 	Run:  runBudgetLoop,
 }
 
-// budgetLoopScope lists the solver packages (by final import-path element)
-// whose unbounded loops must stay budget-aware.
+// budgetLoopScope lists the packages (by final import-path element) whose
+// unbounded loops must stay budget-aware: the solvers, and the online engine
+// whose epoch loop dispatches a solve per iteration.
 var budgetLoopScope = map[string]bool{
 	"sched": true, "isk": true, "milp": true, "floorplan": true, "lp": true, "exact": true,
+	"online": true,
 }
 
 func runBudgetLoop(pass *Pass) {

@@ -95,3 +95,29 @@ func suppressed() {
 		}
 	}
 }
+
+// epoch mirrors the online engine's per-boundary re-plan step: it runs a
+// whole solve, so the loop driving it must poll between epochs.
+func epoch(b *Budget) bool { return step() }
+
+// badEpochLoop drains an arrival queue one re-plan per turn but never
+// consults the budget — a pathological trace would spin forever.
+func badEpochLoop(b *Budget) {
+	for { // want "never polls the budget"
+		if epoch(b) {
+			return
+		}
+	}
+}
+
+// goodEpochLoop is the online engine's shape: poll first, then re-plan.
+func goodEpochLoop(b *Budget) {
+	for {
+		if b.Check() != nil {
+			return
+		}
+		if epoch(b) {
+			return
+		}
+	}
+}

@@ -64,6 +64,7 @@ const (
 	FaultSolverLatency       = "solver-latency"
 	FaultServeLatency        = "serve-latency"
 	FaultServeQueueFull      = "serve-queue-full"
+	FaultLateArrival         = "late-arrival"
 )
 
 // Set is an armed collection of deterministic faults. The zero value (and
@@ -74,6 +75,8 @@ type Set struct {
 	fpInfeasible int // remaining forced-infeasible floorplan solves; <0 = every solve
 	milpLimit    int // remaining forced-Limit MILP solves; <0 = every solve
 	queueFull    int // remaining forced queue-full admissions; <0 = every admission
+	lateArrival  int // remaining forced-late job arrivals; <0 = every arrival
+	lateDelay    int64
 	latency      time.Duration
 	clock        *Clock
 	serveLatency time.Duration
@@ -129,6 +132,37 @@ func (s *Set) ForceQueueFull(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queueFull = n
+}
+
+// ForceLateArrival arms the next n online job arrivals to land delay time
+// units later than their trace says; n < 0 means every arrival. This drives
+// the online engine's re-plan paths — a late job invalidates the epoch plan
+// that assumed its trace arrival time — deterministically: "next 2 arrivals"
+// means exactly the next 2 in the engine's arrival order.
+func (s *Set) ForceLateArrival(n int, delay int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lateArrival = n
+	s.lateDelay = delay
+}
+
+// LateArrival is the hook the online engine consumes once per job arrival:
+// it reports the armed delay to add to the arrival time, and false when the
+// arrival lands on time. Nil-safe.
+func (s *Set) LateArrival() (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lateArrival == 0 {
+		return 0, false
+	}
+	if s.lateArrival > 0 {
+		s.lateArrival--
+	}
+	s.recordLocked(FaultLateArrival)
+	return s.lateDelay, true
 }
 
 // SetServeLatency makes every serving-path dispatch advance clk by d before
@@ -248,6 +282,9 @@ func (s *Set) Armed() []string {
 	}
 	if s.queueFull != 0 {
 		names = append(names, FaultServeQueueFull)
+	}
+	if s.lateArrival != 0 {
+		names = append(names, FaultLateArrival)
 	}
 	sort.Strings(names)
 	return names

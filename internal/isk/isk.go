@@ -54,6 +54,13 @@ type Options struct {
 	SkipFloorplan bool
 	// Floorplan configures the feasibility query.
 	Floorplan floorplan.Options
+	// Initial, when non-nil and non-empty, is the warm platform state the
+	// run schedules from (schedule.PlatformState, produced by
+	// schedule.Freeze): warm regions become committed regions 0..n-1, their
+	// busy-until floors seed the timelines, release floors feed ready(),
+	// and pinned tasks execute first in their regions with the committed
+	// implementation. A nil or Empty state is the historical t=0 run.
+	Initial *schedule.PlatformState
 	// MaxRetries bounds the shrink-and-restart loop (default 20), the
 	// same §V-H policy the paper applies around its schedulers.
 	MaxRetries int
@@ -189,6 +196,9 @@ func run(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vector, opts
 	st := newTimeline(g, a, maxRes, opts.ModuleReuse, opts.Prefetch)
 	st.exhaustive = opts.Exhaustive
 	st.tails = tails(g)
+	if err := st.seedWarm(opts.Initial); err != nil {
+		return nil, err
+	}
 	order, err := priorityOrder(g)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,10 @@ type iskRegion struct {
 	loaded string
 	// lastTask is the last task executed here (-1 right after creation).
 	lastTask int
+	// pinned is the task the committed prefix reserved this region for
+	// (its reconfiguration already ran), -1 when unreserved. Until the
+	// pinned task is scheduled no other task may enter the region.
+	pinned int
 }
 
 // interval is a busy slot on the single reconfiguration controller.
@@ -40,6 +44,11 @@ type timeline struct {
 	target []schedule.Target
 	start  []int64
 	end    []int64
+	// release[t], when non-nil, is the earliest start the committed prefix
+	// allows for t (cross-boundary data dependencies); folded into ready().
+	release []int64
+	// pins maps a task to its forced warm-region mapping (see seedWarm).
+	pins map[int]pin
 
 	regions    []*iskRegion
 	procFree   []int64
@@ -114,6 +123,9 @@ func (st *timeline) footprint(res resources.Vector) resources.Vector {
 // communication time of each incoming edge.
 func (st *timeline) ready(t int) int64 {
 	var r int64
+	if st.release != nil {
+		r = st.release[t]
+	}
 	for _, p := range st.g.Pred(t) {
 		if st.impl[p] < 0 {
 			return -1 // predecessor not scheduled yet

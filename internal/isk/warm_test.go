@@ -1,0 +1,113 @@
+package isk
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// TestWarmEmptyIdentical pins the offline-unchanged contract for IS-k.
+func TestWarmEmptyIdentical(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 8, Seed: 4})
+	a := arch.ZedBoard()
+	cold, _, err := Schedule(g, a, Options{K: 2, SkipFloorplan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := Schedule(g, a, Options{K: 2, SkipFloorplan: true, Initial: &schedule.PlatformState{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("empty initial state changed the IS-k schedule")
+	}
+}
+
+// TestWarmPinnedAndFloors drives a pin, a release floor, a processor floor
+// and an in-flight controller slot through one warm IS-1 run and validates
+// the stitched contract with CheckAgainst.
+func TestWarmPinnedAndFloors(t *testing.T) {
+	g := taskgraph.New("warm")
+	g.AddTask("t0", sw("s0", 500), hw("h0", 60, 400))
+	g.AddTask("t1", sw("s1", 80))
+	a := arch.ZedBoard()
+	ps := &schedule.PlatformState{
+		Regions: []schedule.WarmRegion{{
+			Res: resources.Vec(400, 0, 0), Avail: 90, Loaded: "h0",
+			Pinned: 0, PinnedImpl: 1,
+		}},
+		ProcAvail:   make([]int64, a.Processors),
+		ReconfAvail: []int64{120},
+		Release:     []int64{0, 40},
+	}
+	for p := range ps.ProcAvail {
+		ps.ProcAvail[p] = 30
+	}
+	sch, _, err := Schedule(g, a, Options{K: 1, SkipFloorplan: true, Initial: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := schedule.CheckAgainst(ps, sch); len(errs) > 0 {
+		t.Fatalf("warm IS-1 schedule invalid: %v", errs)
+	}
+	if sch.Tasks[0].Target.Kind != schedule.OnRegion || sch.Tasks[0].Target.Index != 0 {
+		t.Fatalf("pinned task not in warm region 0: %+v", sch.Tasks[0])
+	}
+	if sch.Tasks[0].Impl != 1 || sch.Tasks[0].Start != 90 {
+		t.Errorf("pinned task %+v, want impl 1 starting at 90", sch.Tasks[0])
+	}
+	if sch.Tasks[1].Start < 40 {
+		t.Errorf("t1 starts at %d, release floor is 40", sch.Tasks[1].Start)
+	}
+	for _, rc := range sch.Reconfs {
+		if rc.Start < 120 {
+			t.Errorf("reconfiguration %+v overlaps the in-flight slot [0,120)", rc)
+		}
+	}
+}
+
+// TestWarmBoundaryReconfEmitted forces a tail task into an unpinned warm
+// region holding a stale module: the plan must carry InTask = -1.
+func TestWarmBoundaryReconfEmitted(t *testing.T) {
+	g := taskgraph.New("boundary")
+	// Software is so slow the window optimum always lands on hardware.
+	g.AddTask("t0", sw("s0", 5000000), hw("h0", 100, 400))
+	a := arch.ZedBoard()
+	a.MaxRes = resources.Vec(450, 0, 0) // only the warm region fits
+	a.Fabric = nil
+	ps := &schedule.PlatformState{
+		Regions: []schedule.WarmRegion{{Res: resources.Vec(400, 0, 0), Avail: 25, Loaded: "other", Pinned: -1}},
+	}
+	sch, _, err := Schedule(g, a, Options{K: 1, SkipFloorplan: true, Initial: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := schedule.CheckAgainst(ps, sch); len(errs) > 0 {
+		t.Fatalf("warm schedule invalid: %v", errs)
+	}
+	if len(sch.Reconfs) != 1 || sch.Reconfs[0].InTask != -1 {
+		t.Fatalf("expected one boundary reconfiguration, got %v", sch.Reconfs)
+	}
+	if sch.Reconfs[0].Start < 25 {
+		t.Errorf("boundary reconfiguration %+v starts before the region falls idle at 25", sch.Reconfs[0])
+	}
+}
+
+// TestWarmPinValidation rejects a malformed pin.
+func TestWarmPinValidation(t *testing.T) {
+	g := taskgraph.New("bad")
+	g.AddTask("t0", sw("s0", 10))
+	ps := &schedule.PlatformState{
+		Regions: []schedule.WarmRegion{{Res: resources.Vec(400, 0, 0), Pinned: 0, PinnedImpl: 0}},
+	}
+	_, _, err := Schedule(g, arch.ZedBoard(), Options{SkipFloorplan: true, Initial: ps})
+	if err == nil || !strings.Contains(err.Error(), "software impl") {
+		t.Fatalf("want software-pin rejection, got %v", err)
+	}
+}

@@ -40,6 +40,12 @@ type applied struct {
 // decisions that matter — competition between window tasks for the same
 // region is still explored because each task carries its own shortlist.)
 func (st *timeline) options(t int) []option {
+	if p, ok := st.pins[t]; ok {
+		// The committed prefix already reconfigured a region for t: the only
+		// legal decision is executing there with the committed implementation
+		// (module reuse semantics — no new reconfiguration).
+		return []option{{task: t, impl: p.impl, kind: optReuse, region: p.region}}
+	}
 	var out []option
 	task := st.g.Tasks[t]
 	// Software choices: the earliest-free processor per SW implementation
@@ -69,7 +75,7 @@ func (st *timeline) options(t int) []option {
 		var reuse *cand
 		var best1, best2 *cand
 		for _, r := range st.regions {
-			if !im.Res.Fits(r.res) {
+			if !im.Res.Fits(r.res) || st.locked(r) {
 				continue
 			}
 			if st.moduleReuse && r.loaded == im.Name {
@@ -99,7 +105,7 @@ func (st *timeline) options(t int) []option {
 		if st.exhaustive {
 			// Exact mode: every compatible region is a candidate.
 			for _, r := range st.regions {
-				if !im.Res.Fits(r.res) {
+				if !im.Res.Fits(r.res) || st.locked(r) {
 					continue
 				}
 				if st.moduleReuse && r.loaded == im.Name {
@@ -170,6 +176,7 @@ func (st *timeline) apply(o option, commit bool) (applied, error) {
 			reconfTime: st.a.ReconfTime(im.Res),
 			loaded:     im.Name,
 			lastTask:   o.task,
+			pinned:     -1,
 		}
 		st.regions = append(st.regions, r)
 		st.usedRes = st.usedRes.Add(fp)

@@ -1,0 +1,132 @@
+// Package online is the rolling-horizon scheduling engine: jobs (task
+// graphs) arrive over time, and at every commit boundary the engine freezes
+// what the platform has already started (schedule.Freeze), re-plans the
+// remaining work from the warm platform state with any registered solver,
+// and stitches the tail back onto the frozen prefix. The stitched result is
+// at all times one valid global schedule (schedule.Check) that also honours
+// every commitment the platform made before each boundary
+// (schedule.CheckAgainst).
+//
+// The offline core the paper evaluates (§V–§VII) solves one graph from a
+// cold platform; the online engine turns that core into a service loop:
+// epoch e's re-plan sees region loadouts, busy-until floors, in-flight
+// reconfigurations and cross-boundary data dependencies as a
+// schedule.PlatformState, so PA, PA-R, IS-k and the robust ladder schedule
+// epoch tails exactly as they schedule offline instances. Reconfiguration
+// prefetching (ref [8]) carries over: planned reconfigurations start as
+// early as the controllers allow, hiding load latency behind execution, and
+// the engine accounts how much stall that hides versus an issue-at-dispatch
+// baseline.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resched/internal/benchgen"
+	"resched/internal/taskgraph"
+)
+
+// Job is one unit of arriving work: a task graph that becomes known to the
+// scheduler at Arrival.
+type Job struct {
+	// Name labels the job in the merged global graph.
+	Name string
+	// Graph is the job's task graph (owned by the engine after Submit).
+	Graph *taskgraph.Graph
+	// Arrival is the absolute instant the job becomes known. The engine
+	// re-plans at every distinct arrival instant; tasks of the job can
+	// never start earlier.
+	Arrival int64
+	// Deadline, when positive, is the absolute completion deadline the
+	// engine scores the stitched schedule against (online.deadline_misses).
+	Deadline int64
+}
+
+// Trace is a replayable arrival sequence.
+type Trace struct {
+	Jobs []Job
+}
+
+// TraceConfig parameterises GenTrace. Equal configs generate equal traces.
+type TraceConfig struct {
+	// Jobs is the number of arriving jobs (default 6).
+	Jobs int
+	// TasksPerJob sizes each job's graph (default 12).
+	TasksPerJob int
+	// Seed drives all randomness.
+	Seed int64
+	// MeanGap is the mean inter-arrival gap in ticks (default 2000); actual
+	// gaps are uniform in [0, 2*MeanGap].
+	MeanGap int64
+	// DeadlineSlack, when positive, assigns every job the deadline
+	// arrival + slack * L, where L is the job's critical-path lower bound
+	// (longest chain of minimal execution times). 0 means no deadlines.
+	DeadlineSlack float64
+	// CommMax is forwarded to benchgen (communication-annotated edges).
+	CommMax int64
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Jobs == 0 {
+		c.Jobs = 6
+	}
+	if c.TasksPerJob == 0 {
+		c.TasksPerJob = 12
+	}
+	if c.MeanGap == 0 {
+		c.MeanGap = 2000
+	}
+	return c
+}
+
+// GenTrace builds a seeded arrival trace: each job is a benchgen graph with
+// its own derived seed, arrivals accumulate uniform gaps, and deadlines (if
+// requested) scale each job's critical-path lower bound.
+func GenTrace(cfg TraceConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{}
+	var at int64
+	for j := 0; j < cfg.Jobs; j++ {
+		g, err := benchgen.Generate(benchgen.Config{
+			Tasks:   cfg.TasksPerJob,
+			Seed:    cfg.Seed + int64(j)*7919, // distinct stream per job
+			CommMax: cfg.CommMax,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("online: trace job %d: %w", j, err)
+		}
+		job := Job{Name: fmt.Sprintf("job%d", j), Graph: g, Arrival: at}
+		if cfg.DeadlineSlack > 0 {
+			job.Deadline = at + int64(cfg.DeadlineSlack*float64(criticalLB(g)))
+		}
+		tr.Jobs = append(tr.Jobs, job)
+		at += rng.Int63n(2*cfg.MeanGap + 1)
+	}
+	return tr, nil
+}
+
+// criticalLB is the longest chain of minimal execution times through the
+// graph — the tightest completion bound any scheduler can reach.
+func criticalLB(g *taskgraph.Graph) int64 {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	down := make([]int64, g.N())
+	var best int64
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, w := range g.Succ(v) {
+			if c := down[w] + g.EdgeComm(v, w); c > down[v] {
+				down[v] = c
+			}
+		}
+		down[v] += g.Tasks[v].MinTime()
+		if down[v] > best {
+			best = down[v]
+		}
+	}
+	return best
+}

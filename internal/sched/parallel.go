@@ -182,7 +182,8 @@ func rscheduleParallel(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fa
 		// scheduler under the caller's overall budget.
 		sch, _, err := Schedule(g, a, Options{
 			ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan,
-			Budget: opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
+			Initial: opts.Initial,
+			Budget:  opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("sched: PA-R found no feasible schedule: %w", err)
@@ -205,6 +206,7 @@ func runParWorker(g *taskgraph.Graph, a *arch.Architecture, fabric *arch.Fabric,
 		SkipFloorplan: true,
 		Rand:          rng,
 		Budget:        bud,
+		Initial:       opts.Initial,
 		scratch:       &state{},
 	}
 	for k := 0; ; k++ {

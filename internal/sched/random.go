@@ -57,6 +57,12 @@ type RandomOptions struct {
 	// and recording never perturbs the seeded search.
 	Trace *obs.Trace
 
+	// Initial, when non-nil and non-empty, is the warm platform state every
+	// inner run (and the deterministic fallback) schedules from — see
+	// Options.Initial. The search remains a pure function of its inputs:
+	// the state is a fixed input shared by all iterations and workers.
+	Initial *schedule.PlatformState
+
 	// InitialIncumbent, when non-nil, warm-starts the search: it becomes
 	// the incumbent before iteration 0, so candidates must beat its
 	// makespan before any floorplan query is spent, and it is returned
@@ -186,6 +192,7 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		SkipFloorplan: true,
 		Rand:          rng,
 		Budget:        bud,
+		Initial:       opts.Initial,
 		scratch:       &state{},
 	}
 	capFactor := 1.0
@@ -289,7 +296,8 @@ func RSchedule(g *taskgraph.Graph, a *arch.Architecture, opts RandomOptions) (*s
 		// deadline fails it with a typed budget error.
 		sch, _, err := Schedule(g, a, Options{
 			ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan,
-			Budget: opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
+			Initial: opts.Initial,
+			Budget:  opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("sched: PA-R found no feasible schedule: %w", err)

@@ -26,6 +26,9 @@ func (s *state) buildReconfTasks(moduleReuse bool) []*reconfTask {
 		if n := len(r.tasks); n > 1 {
 			total += n - 1
 		}
+		if r.warm && r.pinned < 0 && len(r.tasks) > 0 {
+			total++ // possible boundary reconfiguration (in = -1)
+		}
 	}
 	if cap(s.rtBuf) < total {
 		s.rtBuf = make([]reconfTask, 0, total)
@@ -34,6 +37,18 @@ func (s *state) buildReconfTasks(moduleReuse bool) []*reconfTask {
 	rts := s.rtPtrBuf[:0]
 	for _, r := range s.regions {
 		tasks := s.regionTasksByStart(r)
+		// A warm region's first tail task executes over a stale resident
+		// module: emit the boundary reconfiguration that loads it, with no
+		// ingoing task (the region's last occupant is frozen prefix-side).
+		// A pin needs none — its committed reconfiguration already loads it
+		// — and module reuse waives it when the resident module matches.
+		if r.warm && r.pinned < 0 && len(tasks) > 0 {
+			first := tasks[0]
+			if !(moduleReuse && r.loaded != "" && s.selectedImpl(first).Name == r.loaded) {
+				s.rtBuf = append(s.rtBuf, reconfTask{region: r, in: -1, out: first})
+				rts = append(rts, &s.rtBuf[len(s.rtBuf)-1])
+			}
+		}
 		for k := 1; k < len(tasks); k++ {
 			tin, tout := tasks[k-1], tasks[k]
 			if moduleReuse && s.selectedImpl(tin).Name == s.selectedImpl(tout).Name {
@@ -52,22 +67,36 @@ func (s *state) buildReconfTasks(moduleReuse bool) []*reconfTask {
 // as an extension). Each channel keeps its reconfigurations sorted by start.
 type channelSet struct {
 	chans [][]*reconfTask
+	// floors[c] is the warm-start busy-until floor of controller c: an
+	// in-flight committed reconfiguration occupies it until then.
+	floors []int64
 }
 
-func newChannelSet(n int) *channelSet { return &channelSet{chans: make([][]*reconfTask, n)} }
+func newChannelSet(n int) *channelSet {
+	return &channelSet{chans: make([][]*reconfTask, n), floors: make([]int64, n)}
+}
 
 // channels returns the state's reusable channelSet reset to n empty
-// controller timelines (their backing arrays are retained). The previous
-// result is invalidated; phases 7's placement and repair passes use it
-// strictly sequentially.
+// controller timelines (their backing arrays are retained), seeded with the
+// warm-start controller floors when the run has an initial platform state.
+// The previous result is invalidated; phases 7's placement and repair
+// passes use it strictly sequentially.
 func (s *state) channels(n int) *channelSet {
 	cs := &s.chanBuf
 	if cap(cs.chans) < n {
 		cs.chans = make([][]*reconfTask, n)
 	}
 	cs.chans = cs.chans[:n]
+	if cap(cs.floors) < n {
+		cs.floors = make([]int64, n)
+	}
+	cs.floors = cs.floors[:n]
 	for c := range cs.chans {
 		cs.chans[c] = cs.chans[c][:0]
+		cs.floors[c] = 0
+		if s.warm != nil && c < len(s.warm.ReconfAvail) {
+			cs.floors[c] = s.warm.ReconfAvail[c]
+		}
 	}
 	return cs
 }
@@ -77,7 +106,11 @@ func (s *state) channels(n int) *channelSet {
 func (cs *channelSet) earliest(tmin, dur int64) (int, int64) {
 	bestC, bestS := 0, int64(-1)
 	for c := range cs.chans {
-		st := gapSearch(cs.chans[c], tmin, dur)
+		lo := tmin
+		if cs.floors[c] > lo {
+			lo = cs.floors[c]
+		}
+		st := gapSearch(cs.chans[c], lo, dur)
 		if bestS < 0 || st < bestS {
 			bestC, bestS = c, st
 		}
@@ -95,10 +128,11 @@ func (cs *channelSet) insert(c int, rt *reconfTask) {
 	cs.chans[c] = tl
 }
 
-// lastEnd returns the latest end on channel c (0 when idle).
+// lastEnd returns the latest end on channel c (its warm-start floor when
+// idle, 0 on a cold controller).
 func (cs *channelSet) lastEnd(c int) int64 {
 	tl := cs.chans[c]
-	var end int64
+	end := cs.floors[c]
 	for _, rt := range tl {
 		if rt.end > end {
 			end = rt.end
@@ -143,7 +177,7 @@ func (s *state) scheduleReconfigs(moduleReuse bool) ([]*reconfTask, error) {
 	}
 	s.rtCritBuf, s.rtNonBuf = crit, non
 	byTmin := func(a []*reconfTask) {
-		sort.SliceStable(a, func(i, j int) bool { return s.end(a[i].in) < s.end(a[j].in) })
+		sort.SliceStable(a, func(i, j int) bool { return s.rtMin(a[i]) < s.rtMin(a[j]) })
 	}
 	byTmin(crit)
 	byTmin(non)
@@ -154,7 +188,7 @@ func (s *state) scheduleReconfigs(moduleReuse bool) ([]*reconfTask, error) {
 	// controller, each delay fully propagated (its outgoing task is on the
 	// critical path).
 	for _, rt := range crit {
-		tmin := s.end(rt.in) // step 1: recompute the window
+		tmin := s.rtMin(rt) // step 1: recompute the window
 		c, lastEnd := cs.minLastEndChannel()
 		st := tmin
 		if lastEnd > st {
@@ -171,7 +205,7 @@ func (s *state) scheduleReconfigs(moduleReuse bool) ([]*reconfTask, error) {
 	// Non-critical reconfigurations: earliest gap at or after T_MIN across
 	// the controllers.
 	for _, rt := range non {
-		tmin := s.end(rt.in)
+		tmin := s.rtMin(rt)
 		c, st := cs.earliest(tmin, rt.region.reconf)
 		rt.start, rt.end = st, st+rt.region.reconf
 		cs.insert(c, rt)
@@ -227,7 +261,7 @@ func (s *state) repairReconfigs(rts []*reconfTask) error {
 		order := append(s.rtOrderBuf[:0], rts...)
 		s.rtOrderBuf = order
 		sort.SliceStable(order, func(i, j int) bool {
-			li, lj := s.end(order[i].in), s.end(order[j].in)
+			li, lj := s.rtMin(order[i]), s.rtMin(order[j])
 			if li != lj {
 				return li < lj
 			}
@@ -240,7 +274,7 @@ func (s *state) repairReconfigs(rts []*reconfTask) error {
 		cs := s.channels(s.a.ReconfiguratorCount())
 		changed := false
 		for _, rt := range order {
-			lo := s.end(rt.in)
+			lo := s.rtMin(rt)
 			c, st := cs.earliest(lo, rt.region.reconf)
 			if st != rt.start {
 				rt.start, rt.end = st, st+rt.region.reconf

@@ -68,6 +68,11 @@ func (s *state) insertionStart(r *regionState, t int, dur int64, needGap bool, h
 	}
 	slots := s.regionTasksByStart(r)
 	cur := s.est[t]
+	if fl := s.regionFloor(r, t); fl > cur {
+		// Warm region: busy until the prefix releases it (plus the boundary
+		// reconfiguration when a new module must be loaded first).
+		cur = fl
+	}
 	for i, t2 := range slots {
 		s2, e2 := s.est[t2], s.end(t2)
 		if e2 <= cur {
@@ -108,6 +113,11 @@ func (s *state) insertionStart(r *regionState, t int, dur int64, needGap bool, h
 // [T_MIN, T_MIN + T_EXE), §V-E), with room for the reconfigurations when
 // needGap is set.
 func (s *state) windowsCompatible(r *regionState, t int, needGap bool) bool {
+	// Warm region: delay-free sharing places t at T_MIN, which must clear
+	// the floor the committed prefix imposes.
+	if s.est[t] < s.regionFloor(r, t) {
+		return false
+	}
 	for _, t2 := range r.tasks {
 		// Tasks already assigned occupy a fixed slot [T_START, T_END) =
 		// [T_MIN, T_MIN + T_EXE) (§V-E fixes T_START = T_MIN), so the
@@ -147,6 +157,9 @@ func (s *state) defineRegions(order []int, isCritical []bool) error {
 	for _, t := range order {
 		if !s.isHW(t) {
 			continue // switched to software by an earlier fallback
+		}
+		if s.regionOf[t] >= 0 {
+			continue // pinned into a warm region before the walk
 		}
 		im := s.selectedImpl(t)
 		if isCritical[t] {
@@ -207,8 +220,23 @@ func (s *state) pickRegion(t int, needGap, allowDelay bool) (*regionState, int64
 		if !im.Res.Fits(r.res) {
 			continue
 		}
+		if !s.hostablePinned(r, t) {
+			continue
+		}
 		var st int64
-		if !allowDelay || s.strict {
+		if r.warm && !s.strict {
+			// A warm region is busy until the committed prefix releases it,
+			// so the delay-free test below would reject almost every task
+			// (T_MIN typically precedes the floor). Use the slot-insertion
+			// test instead: it starts at the floor and consumes window slack,
+			// which never extends the makespan bound. Critical tasks have no
+			// slack, so they still only land here when their window already
+			// clears the floor — exactly the §V-C contract.
+			st = s.insertionStart(r, t, s.dur[t], needGap, -1)
+			if st < 0 {
+				continue
+			}
+		} else if !allowDelay || s.strict {
 			// Delay-free sharing uses the §V-C slot-disjointness test: the
 			// task's whole window must clear the occupied slots, so later
 			// delay propagation cannot make the region collide.

@@ -95,6 +95,11 @@ type RobustOptions struct {
 	// Trace records a robust.run span annotated with the armed faults and
 	// the rung that fired, plus the usual per-rung scheduler spans.
 	Trace *obs.Trace
+	// Initial, when non-nil and non-empty, is the warm platform state every
+	// rung schedules from (see Options.Initial). The software-only rung
+	// honours it too: release and processor floors apply, and pinned tasks
+	// execute in their regions.
+	Initial *schedule.PlatformState
 	// FloorplanHint warm-starts the PA rung's phase-8 feasibility check
 	// (see Options.FloorplanHint); an unverifiable hint is ignored.
 	FloorplanHint []floorplan.Placement
@@ -168,6 +173,7 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 		ModuleReuse: opts.ModuleReuse, Floorplan: opts.Floorplan,
 		MaxRetries: opts.MaxRetries, ShrinkFactor: opts.ShrinkFactor,
 		Arena:         opts.Arena,
+		Initial:       opts.Initial,
 		FloorplanHint: opts.FloorplanHint,
 		Budget:        opts.Budget, Faults: opts.Faults, Trace: opts.Trace,
 	})
@@ -193,6 +199,7 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 			TimeBudget: opts.RandomTime, MaxIterations: opts.RandomIterations,
 			Seed: opts.RandomSeed, ModuleReuse: opts.ModuleReuse,
 			Floorplan: opts.Floorplan, Budget: opts.Budget,
+			Initial:          opts.Initial,
 			InitialIncumbent: opts.InitialIncumbent,
 			Faults:           opts.Faults, Trace: opts.Trace,
 		})
@@ -205,7 +212,7 @@ func Robust(g *taskgraph.Graph, a *arch.Architecture, opts RobustOptions) (*Resu
 
 	// Rung 4: the guaranteed fallback. Needs no fabric, no floorplan and no
 	// search, so budgets and injected faults cannot touch it.
-	sw, serr := SoftwareOnlySchedule(g, a)
+	sw, serr := SoftwareOnlyScheduleFrom(g, a, opts.Initial)
 	if serr != nil {
 		fail(SoftwareOnly, serr)
 		return res, fmt.Errorf("sched: robust ladder exhausted: %w", serr)
@@ -236,64 +243,7 @@ func isStructural(g *taskgraph.Graph, a *arch.Architecture, err error) bool {
 // nothing to search. The result is deliberately conservative: a feasible
 // anchor, not a competitive makespan.
 func SoftwareOnlySchedule(g *taskgraph.Graph, a *arch.Architecture) (*schedule.Schedule, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	if g.N() > 0 && a.Processors <= 0 {
-		return nil, fmt.Errorf("sched: %w: architecture has no processors", ErrNoSoftwareFallback)
-	}
-	impl := make([]int, g.N())
-	for t, task := range g.Tasks {
-		sw := task.FastestSW()
-		if sw < 0 {
-			return nil, fmt.Errorf("sched: %w: task %d (%s) has no software implementation",
-				ErrNoSoftwareFallback, t, task.Name)
-		}
-		if task.Impls[sw].Time <= 0 {
-			return nil, fmt.Errorf("sched: task %d (%s) has non-positive software time %d",
-				t, task.Name, task.Impls[sw].Time)
-		}
-		impl[t] = sw
-	}
-
-	sch := schedule.New(g, a)
-	sch.Algorithm = "SW-only"
-	procFree := make([]int64, a.Processors)
-	for _, t := range order {
-		// Earliest start: all predecessors done, plus cross-processor
-		// communication. The processor is chosen after the predecessor
-		// bound is known, so same-processor communication elision cannot
-		// help here; paying comm on every edge keeps the bound safe for
-		// any checker convention and stays deterministic.
-		var est int64
-		for _, p := range g.Pred(t) {
-			if end := sch.Tasks[p].End + g.EdgeComm(p, t); end > est {
-				est = end
-			}
-		}
-		// Earliest-finishing processor, lowest index on ties.
-		proc := 0
-		for q := 1; q < a.Processors; q++ {
-			if procFree[q] < procFree[proc] {
-				proc = q
-			}
-		}
-		start := est
-		if procFree[proc] > start {
-			start = procFree[proc]
-		}
-		end := start + g.Tasks[t].Impls[impl[t]].Time
-		procFree[proc] = end
-		sch.Tasks[t] = schedule.Assignment{
-			Impl:   impl[t],
-			Target: schedule.Target{Kind: schedule.OnProcessor, Index: proc},
-			Start:  start,
-			End:    end,
-		}
-	}
-	sch.ComputeMakespan()
-	return sch, nil
+	return SoftwareOnlyScheduleFrom(g, a, nil)
 }
 
 // ReasonSummary renders the reason chain compactly for CLI output.

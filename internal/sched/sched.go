@@ -62,6 +62,15 @@ type Options struct {
 	// and untraced runs produce identical schedules.
 	Trace *obs.Trace
 
+	// Initial, when non-nil and non-empty, is the warm platform state an
+	// epoch re-plan starts from: release floors from frozen predecessors,
+	// busy-until times on processors and reconfiguration controllers, and
+	// pre-existing regions (possibly mid-reconfiguration with a pinned
+	// task). Tail region i of the result corresponds to Initial.Regions[i].
+	// A nil or empty state reproduces the historical t=0 solve exactly.
+	// The state is only read, never retained or mutated.
+	Initial *schedule.PlatformState
+
 	// FloorplanHint, when non-empty, is a warm-start candidate for phase 8:
 	// before searching, the hint rectangles are verified against the run's
 	// region requirements (floorplan.Verify), and when they fit, the
@@ -238,6 +247,12 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 	}
 	s.reset(g, a, maxRes)
 	s.strict = opts.StrictWindows
+	warm := opts.Initial != nil && !opts.Initial.Empty()
+	if warm {
+		if err := s.seedWarm(opts.Initial); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	// checkBudget bounds how late a cancel can land: one phase at most.
 	// The check never influences scheduling decisions — it either aborts
@@ -252,6 +267,11 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 	// Phase 1: implementation selection.
 	sp := opts.Trace.Start("pa.phase1.implselect")
 	s.selectImplementations()
+	if warm {
+		// Committed reconfigurations already load specific bitstreams:
+		// pinned tasks keep them regardless of the cost model.
+		s.applyPins()
+	}
 	sp.End()
 	if err := checkBudget(); err != nil {
 		return nil, nil, err
@@ -272,6 +292,13 @@ func runPipeline(g *taskgraph.Graph, a *arch.Architecture, maxRes resources.Vect
 	sp.End()
 	if err := checkBudget(); err != nil {
 		return nil, nil, err
+	}
+	if warm {
+		// Pinned tasks are frozen facts, not decisions: commit them into
+		// their warm regions before the regions-definition walk.
+		if err := s.placePinned(); err != nil {
+			return nil, nil, err
+		}
 	}
 	// Phase 3: regions definition.
 	sp = opts.Trace.Start("pa.phase3.regions")

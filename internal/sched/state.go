@@ -7,6 +7,7 @@ import (
 	"resched/internal/cpm"
 	"resched/internal/floorplan"
 	"resched/internal/resources"
+	"resched/internal/schedule"
 	"resched/internal/taskgraph"
 )
 
@@ -65,8 +66,13 @@ type state struct {
 	usedRes    resources.Vector
 
 	// release[t] is an externally imposed earliest start (reconfiguration
-	// induced delays).
+	// induced delays, and warm-start floors from frozen predecessors).
 	release []int64
+
+	// warm is the initial platform state of a re-plan run (nil for the
+	// offline t=0 solve). It is read-only; seedWarm translates it into
+	// release floors, warm regions and pins.
+	warm *schedule.PlatformState
 
 	// Current timing (recomputed by retime): est doubles as the start
 	// time, lft is the latest finish without extending the makespan. Both
@@ -82,6 +88,7 @@ type state struct {
 	orderBuf       []int              // hwOrder result
 	critBuf        []bool             // per-task criticality snapshot
 	regionOrderBuf []int              // regionTasksByStart result
+	reachBuf       []int              // reaches BFS queue
 	swBuf          []int              // software-task lists (phases 4 and 6)
 	procEndBuf     []int64            // per-processor end times (phase 6)
 	procLastBuf    []int              // per-processor last task (phase 6)
@@ -101,6 +108,16 @@ type regionState struct {
 	bits   int64
 	reconf int64
 	tasks  []int
+
+	// Warm-start fields (zero for regions opened by this run): a warm
+	// region pre-exists the run, is busy until availFrom, holds module
+	// loaded at that instant, and may pin a task whose bitstream a
+	// committed reconfiguration already loads.
+	warm       bool
+	availFrom  int64
+	loaded     string
+	pinned     int
+	pinnedImpl int
 }
 
 // newState initialises a fresh working state for one scheduling run. Callers
@@ -123,6 +140,7 @@ func (s *state) reset(g *taskgraph.Graph, a *arch.Architecture, maxRes resources
 	s.strict = false
 	s.usedRes = resources.Vector{}
 	s.makespan = 0
+	s.warm = nil
 
 	if cap(s.impl) < n {
 		s.impl = make([]int, n)
@@ -202,6 +220,44 @@ func (s *state) addEdge(from, to int) {
 	s.pred[to] = append(s.pred[to], from)
 }
 
+// reaches reports whether task to is reachable from task from in the
+// combined graph (application edges plus inserted sequencing edges). Used to
+// reject region placements that would contradict a warm region's pin-first
+// contract: a task that precedes the pinned task can never follow it.
+func (s *state) reaches(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, s.g.N())
+	seen[from] = true
+	queue := append(s.reachBuf[:0], from)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range s.succ[v] {
+			if w == to {
+				s.reachBuf = queue[:0]
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.reachBuf = queue[:0]
+	return false
+}
+
+// hostablePinned reports whether warm region r may host task t at all: a
+// pinned region must run its pin first, so any task ordered before the pin
+// by the combined graph is rejected outright (timing floors cannot save it —
+// delaying t to the pin's end would delay the pin itself through the same
+// precedence path).
+func (s *state) hostablePinned(r *regionState, t int) bool {
+	return !r.warm || r.pinned < 0 || r.pinned == t || !s.reaches(t, r.pinned)
+}
+
 // setImpl selects implementation i for task t and refreshes its duration.
 func (s *state) setImpl(t, i int) {
 	s.impl[t] = i
@@ -267,6 +323,8 @@ func (s *state) newRegion(res resources.Vector) *regionState {
 	r.res = res
 	r.bits = s.a.BitstreamBits(res)
 	r.reconf = s.a.ReconfTime(res)
+	// Pool recycling: a previous run may have left warm fields behind.
+	r.warm, r.availFrom, r.loaded, r.pinned, r.pinnedImpl = false, 0, "", -1, 0
 	s.regions = append(s.regions, r)
 	s.usedRes = s.usedRes.Add(s.footprint(res))
 	return r

@@ -115,6 +115,9 @@ func (s *state) regionForImpl(t int, im taskgraph.Implementation, dur int64, hor
 		if !im.Res.Fits(r.res) {
 			continue
 		}
+		if !s.hostablePinned(r, t) {
+			continue
+		}
 		var st int64
 		if s.strict {
 			if !s.windowsCompatible(r, t, false) {

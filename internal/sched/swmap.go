@@ -35,6 +35,10 @@ func (s *state) mapSoftware() error {
 	procLast := s.procLastBuf[:s.a.Processors]
 	for p := range procLast {
 		procEnd[p] = 0
+		if s.warm != nil && p < len(s.warm.ProcAvail) {
+			// Warm start: the processor finishes its committed work first.
+			procEnd[p] = s.warm.ProcAvail[p]
+		}
 		procLast[p] = -1
 	}
 	for _, t := range sw {
@@ -51,6 +55,12 @@ func (s *state) mapSoftware() error {
 		if procLast[best] >= 0 {
 			s.addEdge(procLast[best], t)
 			if err := s.retime(); err != nil {
+				return err
+			}
+		} else if procEnd[best] > s.est[t] {
+			// First tail task on a warm processor: no predecessor task to
+			// chain behind, so impose the busy-until floor as a release.
+			if err := s.delay(t, procEnd[best]); err != nil {
 				return err
 			}
 		}

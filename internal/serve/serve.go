@@ -99,6 +99,10 @@ type Config struct {
 	// DefaultArch names the board preset used when a request names none
 	// (default "zedboard").
 	DefaultArch string
+	// MaxSessions bounds the concurrently open rolling-horizon sessions
+	// (default 8): each holds a live online.Engine and its growing global
+	// schedule, so the bound is a memory guard, not a throughput knob.
+	MaxSessions int
 	// CacheEntries bounds the server-owned schedule cache (default 256
 	// entries); a negative value disables caching entirely. The cache is
 	// wired per-server via schedcache.Wrap in the dispatch path — the
@@ -148,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultArch == "" {
 		c.DefaultArch = "zedboard"
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
@@ -224,6 +231,12 @@ type Server struct {
 	state int
 	queue chan *job
 
+	// Rolling-horizon sessions (session.go). sessMu guards the registry;
+	// each session serializes its own engine.
+	sessMu   sync.Mutex
+	sessions map[string]*session
+	sessSeq  int64
+
 	root *budget.Budget // ancestor of every request budget; Cancel = abort all
 
 	// cache is the server-owned schedule cache (nil when disabled): exact
@@ -247,10 +260,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
-		root:    budget.New(budget.Options{Clock: cfg.Clock, Trace: cfg.Trace}),
-		stopped: make(chan struct{}),
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		root:     budget.New(budget.Options{Clock: cfg.Clock, Trace: cfg.Trace}),
+		stopped:  make(chan struct{}),
+		sessions: make(map[string]*session),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = schedcache.New(cfg.CacheEntries)
@@ -286,6 +300,9 @@ func threshold(frac float64, depth int) int {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/session/open", s.handleSessionOpen)
+	mux.HandleFunc("/session/submit", s.handleSessionSubmit)
+	mux.HandleFunc("/session/close", s.handleSessionClose)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	debug := obshttp.Handler(s.cfg.Trace)
 	mux.Handle("/metrics", debug)
@@ -298,6 +315,9 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "resched scheduling service\n\n"+
 			"POST /solve     solve a task-graph instance (JSON)\n"+
+			"POST /session/open    open a rolling-horizon session\n"+
+			"POST /session/submit  submit a job and re-plan the tail\n"+
+			"POST /session/close   finalize the stitched schedule\n"+
 			"GET  /healthz   admission state and counters\n"+
 			"GET  /metrics   flat metrics JSON\n"+
 			"GET  /debug/    trace, events, summary, pprof\n")
@@ -318,6 +338,8 @@ type Health struct {
 	Refused    int64  `json:"refused_draining"`
 	Degraded   int64  `json:"degraded"`
 	Panics     int64  `json:"panics"`
+	// Sessions counts the open rolling-horizon sessions.
+	Sessions int `json:"sessions"`
 	// Cache reports the schedule-cache counters; omitted when disabled.
 	Cache *CacheHealth `json:"cache,omitempty"`
 }
@@ -362,6 +384,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Refused:    s.refused.Load(),
 		Degraded:   s.degraded.Load(),
 		Panics:     s.panics.Load(),
+		Sessions:   s.sessionCount(),
 		Cache:      cacheHealth,
 	})
 }

@@ -14,6 +14,13 @@ import (
 // queue) and takes the longest path. Execute and ASAP must agree — the
 // tests use this as a differential oracle for the event-driven simulator.
 func ASAP(s *schedule.Schedule) (*Result, error) {
+	return ASAPFrom(s, nil)
+}
+
+// ASAPFrom is ASAP with per-task release floors, the analytic counterpart
+// of ExecuteFrom: start[t] is at least release[t] before the longest-path
+// pass. A nil or short slice leaves the unmapped tasks unconstrained.
+func ASAPFrom(s *schedule.Schedule, release []int64) (*Result, error) {
 	n := s.Graph.N()
 	total := n + len(s.Reconfs)
 	succ := make([][]int, total)
@@ -74,6 +81,9 @@ func ASAP(s *schedule.Schedule) (*Result, error) {
 		return nil, fmt.Errorf("sim: schedule orders are cyclic: %w", err)
 	}
 	start := make([]int64, total)
+	for t := 0; t < n && t < len(release); t++ {
+		start[t] = release[t]
+	}
 	for _, u := range order {
 		for _, v := range succ[u] {
 			if f := start[u] + dur[u] + weight[[2]int{u, v}]; f > start[v] {

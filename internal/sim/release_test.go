@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/resources"
+	"resched/internal/schedule"
+	"resched/internal/taskgraph"
+)
+
+// TestAssignChannelsEqualStartTieBreak pins the explicit tie-break: two
+// reconfigurations with the same scheduled start must partition onto the
+// controllers by reconfiguration index, independent of emission order.
+func TestAssignChannelsEqualStartTieBreak(t *testing.T) {
+	g := taskgraph.New("tie")
+	a := arch.ZedBoard()
+	a.Reconfigurators = 2
+	s := schedule.New(g, a)
+	s.AddRegion(resources.Vec(100, 0, 0))
+	s.AddRegion(resources.Vec(100, 0, 0))
+	rt := s.Regions[0].ReconfTime
+	// Same start on both; emitted in DESCENDING index order on purpose.
+	s.Reconfs = []schedule.Reconfiguration{
+		{Region: 1, InTask: -1, OutTask: -1, Start: 10, End: 10 + rt},
+		{Region: 0, InTask: -1, OutTask: -1, Start: 10, End: 10 + rt},
+	}
+	q := assignChannels(s)
+	// Index 0 (emitted first) goes to controller 0, index 1 to controller 1.
+	if len(q[0]) != 1 || q[0][0] != 0 || len(q[1]) != 1 || q[1][0] != 1 {
+		t.Fatalf("equal-start partition = %v, want [[0] [1]]", q)
+	}
+
+	// Swapping the records (so emission order matches index order) must give
+	// the same partition by record content: start ties resolve by index.
+	s.Reconfs[0], s.Reconfs[1] = s.Reconfs[1], s.Reconfs[0]
+	q2 := assignChannels(s)
+	if !reflect.DeepEqual(q2, [][]int{{0}, {1}}) {
+		t.Fatalf("after swap partition = %v, want [[0] [1]]", q2)
+	}
+}
+
+// TestExecuteFromReleaseFloors verifies release floors hold in both the
+// event-driven executor and the analytic oracle, and that they agree.
+func TestExecuteFromReleaseFloors(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 20, Seed: 9})
+	s := mustPA(t, g)
+	release := make([]int64, g.N())
+	for v := range release {
+		release[v] = int64(37 * (v%5 + 1))
+	}
+	ex, err := ExecuteFrom(s, release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ASAPFrom(s, release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range release {
+		if ex.Start[v] < release[v] {
+			t.Errorf("Execute: task %d starts at %d before release %d", v, ex.Start[v], release[v])
+		}
+	}
+	if !reflect.DeepEqual(ex.Start, an.Start) || ex.Makespan != an.Makespan {
+		t.Errorf("ExecuteFrom and ASAPFrom disagree: makespans %d vs %d", ex.Makespan, an.Makespan)
+	}
+	checkDynamic(t, s, ex)
+
+	// Zero floors are Execute: identical results.
+	plain, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := ExecuteFrom(s, make([]int64, g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, zero) {
+		t.Error("zero release floors changed the executed timeline")
+	}
+}

@@ -31,11 +31,15 @@ func assignChannels(s *schedule.Schedule) [][]int {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := s.Reconfs[order[a]], s.Reconfs[order[b]]
+		ia, ib := order[a], order[b]
+		ra, rb := s.Reconfs[ia], s.Reconfs[ib]
 		if ra.Start != rb.Start {
 			return ra.Start < rb.Start
 		}
-		return order[a] < order[b]
+		// Equal starts tie-break on the reconfiguration index, an explicit
+		// total order: channel assignment (and with it the executed timeline)
+		// must not depend on the schedule's emission order.
+		return ia < ib
 	})
 	n := s.Arch.ReconfiguratorCount()
 	queues := make([][]int, n)
@@ -111,6 +115,15 @@ func (c calendar) empty() bool     { return len(c) == 0 }
 // simulator re-verifies the dynamic conditions as it goes and fails loudly
 // on any inconsistency (a deadlock means the schedule's orders are cyclic).
 func Execute(s *schedule.Schedule) (*Result, error) {
+	return ExecuteFrom(s, nil)
+}
+
+// ExecuteFrom runs the schedule with per-task release floors: task t may
+// not start before release[t] no matter how early the platform frees up.
+// This is the arrival-driven oracle for online scheduling — a job arriving
+// at time A is modelled as release A on each of its tasks — and a nil or
+// short slice leaves the unmapped tasks unconstrained (Execute semantics).
+func ExecuteFrom(s *schedule.Schedule, release []int64) (*Result, error) {
 	n := s.Graph.N()
 	res := &Result{
 		Start:       make([]int64, n),
@@ -157,8 +170,12 @@ func Execute(s *schedule.Schedule) (*Result, error) {
 		pendingPreds[t] = len(s.Graph.Pred(t))
 	}
 	// dataAt[t] is the time all inputs of t have arrived (valid once
-	// pendingPreds[t] == 0).
+	// pendingPreds[t] == 0). Release floors seed it: arrival data is one
+	// more input the dispatcher waits for.
 	dataAt := make([]int64, n)
+	for t := 0; t < n && t < len(release); t++ {
+		dataAt[t] = release[t]
+	}
 
 	var cal calendar
 	seq := 0
@@ -248,6 +265,15 @@ func Execute(s *schedule.Schedule) (*Result, error) {
 					progress = true
 				}
 			}
+		}
+	}
+
+	// Source tasks held only by a release floor need a wake-up: no
+	// predecessor completion will ever re-run the dispatcher for them.
+	for t := 0; t < n; t++ {
+		if pendingPreds[t] == 0 && dataAt[t] > 0 {
+			seq++
+			cal.add(event{time: dataAt[t], seq: seq, kind: wake, id: t})
 		}
 	}
 

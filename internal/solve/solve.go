@@ -88,6 +88,16 @@ type Options struct {
 	// obs). A nil trace is a no-op and tracing never perturbs schedules.
 	Trace *obs.Trace
 
+	// Initial, when non-nil and non-empty, is the warm platform state the
+	// solve starts from: region loadout, busy-until floors, in-flight
+	// reconfigurations and per-task release floors left behind by a
+	// committed schedule prefix (schedule.PlatformState, produced by
+	// schedule.Freeze). PA, PA-R, IS-k and the robust ladder schedule the
+	// tail from this state; the exact reference rejects a non-empty state
+	// (it enumerates cold schedules only). A nil or Empty state is the
+	// historical t=0 solve, bit-identical to omitting the field.
+	Initial *schedule.PlatformState
+
 	// InitialIncumbent warm-starts the randomized search (PA-R and the
 	// robust ladder's PA-R rung) with a known-good schedule of this exact
 	// instance: candidates must beat its makespan before any floorplan

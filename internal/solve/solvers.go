@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"strconv"
 
 	"resched/internal/exact"
@@ -32,6 +33,7 @@ func (paSolver) Solve(req *Request) (*Result, error) {
 		SkipFloorplan: req.SkipFloorplan,
 		Floorplan:     req.Floorplan,
 		Arena:         req.Arena,
+		Initial:       req.Initial,
 		FloorplanHint: req.FloorplanHint,
 		Budget:        req.Budget,
 		Faults:        req.Faults,
@@ -64,6 +66,7 @@ func (parSolver) Solve(req *Request) (*Result, error) {
 		Workers:          req.Workers,
 		ModuleReuse:      req.ModuleReuse,
 		Floorplan:        req.Floorplan,
+		Initial:          req.Initial,
 		InitialIncumbent: req.InitialIncumbent,
 		Budget:           req.Budget,
 		Faults:           req.Faults,
@@ -103,6 +106,7 @@ func (s iskSolver) Solve(req *Request) (*Result, error) {
 		SkipFloorplan:  req.SkipFloorplan,
 		Floorplan:      req.Floorplan,
 		MaxWindowNodes: req.MaxNodes,
+		Initial:        req.Initial,
 		Budget:         req.Budget,
 		Faults:         req.Faults,
 		Trace:          req.Trace,
@@ -135,6 +139,9 @@ func (exactSolver) Name() string { return "exact" }
 func (exactSolver) MaxTasks() int { return exact.MaxTasks }
 
 func (exactSolver) Solve(req *Request) (*Result, error) {
+	if req.Initial != nil && !req.Initial.Empty() {
+		return nil, errors.New("solve: the exact reference enumerates cold schedules only; it cannot start from a warm platform state")
+	}
 	sch, stats, err := exact.Schedule(req.Graph, req.Arch, exact.Options{
 		ModuleReuse: req.ModuleReuse,
 		MaxNodes:    req.MaxNodes,
@@ -167,6 +174,7 @@ func (robustSolver) Solve(req *Request) (*Result, error) {
 		RandomTime:       req.TimeBudget,
 		RandomSeed:       req.Seed,
 		Arena:            req.Arena,
+		Initial:          req.Initial,
 		FloorplanHint:    req.FloorplanHint,
 		InitialIncumbent: req.InitialIncumbent,
 		Budget:           req.Budget,

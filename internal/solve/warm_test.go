@@ -1,0 +1,72 @@
+package solve
+
+import (
+	"strings"
+	"testing"
+
+	"resched/internal/arch"
+	"resched/internal/benchgen"
+	"resched/internal/schedule"
+)
+
+// TestWarmStateForwarded verifies the warm platform state reaches every
+// solver that supports it: a uniform processor floor must shift the whole
+// schedule, and the result must validate against the state.
+func TestWarmStateForwarded(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 8, Seed: 2})
+	a := arch.ZedBoard()
+	floors := make([]int64, a.Processors)
+	for p := range floors {
+		floors[p] = 75
+	}
+	rel := make([]int64, g.N())
+	for v := range rel {
+		rel[v] = 75
+	}
+	ps := &schedule.PlatformState{ProcAvail: floors, Release: rel}
+	for _, name := range []string{"pa", "par", "is1", "is5", "robust"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Solve(&Request{Graph: g, Arch: a, Options: Options{
+			SkipFloorplan: true, MaxIterations: 4, Initial: ps,
+		}})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for v, asg := range res.Schedule.Tasks {
+			if asg.Start < 75 {
+				t.Errorf("%s: task %d starts at %d, release floor is 75", name, v, asg.Start)
+				break
+			}
+		}
+		if errs := schedule.CheckAgainst(ps, res.Schedule); len(errs) > 0 {
+			t.Errorf("%s: warm schedule invalid: %v", name, errs)
+		}
+	}
+}
+
+// TestWarmStateExactRejected pins the exact reference's contract: it
+// enumerates cold schedules only.
+func TestWarmStateExactRejected(t *testing.T) {
+	g := genGraph(t, benchgen.Config{Tasks: 4, Seed: 1})
+	a := arch.ZedBoard()
+	s, err := Get("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Solve(&Request{Graph: g, Arch: a, Options: Options{
+		Initial: &schedule.PlatformState{Release: []int64{5, 0, 0, 0}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "cold schedules only") {
+		t.Fatalf("want cold-only rejection, got %v", err)
+	}
+	// An empty state is not a warm start: the exact solver must accept it.
+	if _, err := s.Solve(&Request{Graph: g, Arch: a, Options: Options{
+		Initial: &schedule.PlatformState{},
+	}}); err != nil {
+		t.Fatalf("empty state rejected: %v", err)
+	}
+}

@@ -10,10 +10,15 @@
 #   4. fire a second, cache-heavy session (repeat + perturb mix against a
 #      small graph pool) so the schedule cache's exact-hit and warm-start
 #      paths both run
-#   5. SIGTERM the daemon and require a clean graceful drain (exit 0 and
+#   5. replay a seeded arrival trace through the rolling-horizon session
+#      API (paschedsim -daemon-addr-file): open, stream jobs, close — the
+#      online engine runs inside the daemon and its counters land in the
+#      daemon's metrics flush
+#   6. SIGTERM the daemon and require a clean graceful drain (exit 0 and
 #      the "drained" log line)
-#   6. validate the flushed trace/metrics/events artefacts with obscheck,
-#      requiring the cache.hits and cache.warm_starts counters to be live
+#   7. validate the flushed trace/metrics/events artefacts with obscheck,
+#      requiring the cache.hits, cache.warm_starts, online.epochs and
+#      online.prefetch_hits counters to be live
 #
 # Every knob is deterministic (fixed seed, counted faults), so two runs on
 # the same tree produce the same request outcomes. Artefacts land in
@@ -33,6 +38,7 @@ mkdir -p "$DIR/bin"
 $GO build -o "$DIR/bin/paschedd" ./cmd/paschedd
 $GO build -o "$DIR/bin/paschedload" ./cmd/paschedload
 $GO build -o "$DIR/bin/obscheck" ./cmd/obscheck
+$GO build -o "$DIR/bin/paschedsim" ./cmd/paschedsim
 
 rm -f "$DIR/addr"
 "$DIR/bin/paschedd" \
@@ -80,6 +86,25 @@ if ! "$DIR/bin/paschedload" -addr-file "$DIR/addr" \
     exit 1
 fi
 
+# Session leg: one rolling-horizon trace through the daemon's session API.
+# The seed is chosen so prefetching fires with hits, keeping the
+# online.prefetch_hits counter assertion below meaningful.
+if ! "$DIR/bin/paschedsim" -daemon-addr-file "$DIR/addr" \
+    -seed 3 -jobs 4 -tasks 8 -mean-gap 800 -comm-max 30 \
+    > "$DIR/session.log"; then
+    echo "serve-smoke: session replay failed; daemon log:" >&2
+    cat "$DIR/paschedd.log" >&2
+    cat "$DIR/session.log" >&2
+    kill "$DAEMON" 2>/dev/null || true
+    exit 1
+fi
+grep -q "session closed" "$DIR/session.log" || {
+    echo "serve-smoke: session never closed:" >&2
+    cat "$DIR/session.log" >&2
+    kill "$DAEMON" 2>/dev/null || true
+    exit 1
+}
+
 kill -TERM "$DAEMON"
 if ! wait "$DAEMON"; then
     echo "serve-smoke: daemon exited non-zero; log:" >&2
@@ -92,6 +117,7 @@ grep -q "drained" "$DIR/paschedd.log" || {
     exit 1
 }
 
-"$DIR/bin/obscheck" -require-counters cache.hits,cache.warm_starts \
+"$DIR/bin/obscheck" \
+    -require-counters cache.hits,cache.warm_starts,online.epochs,online.prefetch_hits \
     "$DIR/trace.json" "$DIR/metrics.json" "$DIR/events.json"
 echo "serve-smoke: ok — report in $BENCH_OUT, artefacts in $DIR/"
